@@ -1,0 +1,139 @@
+//! The H.264 / MPEG-4 encoder task graph of Fig. 9(a), mapped on a 4×4 mesh.
+//!
+//! The 15 computation blocks and the 19 edge weights (packets per encoded
+//! frame) are those printed in the paper's figure; the exact edge endpoints
+//! and the vertex placement are a documented reconstruction that follows the
+//! standard H.264 encoder dataflow (see `DESIGN.md`, substitution table).
+
+use crate::task_graph::{TaskEdge, TaskGraph, TaskNode};
+
+/// Builds the H.264 encoder task graph mapped on a 4×4 mesh.
+///
+/// ```
+/// let app = noc_apps::h264_encoder();
+/// assert_eq!(app.tasks().len(), 15);
+/// assert_eq!(app.edges().len(), 19);
+/// ```
+pub fn h264_encoder() -> TaskGraph {
+    // Task list with its 4x4 mapping (row-major mesh indices). Heavily
+    // communicating stages are placed on neighbouring nodes.
+    let tasks = vec![
+        task("video in", 0),
+        task("yuv generator", 1),
+        task("padding for mv computation", 2),
+        task("chroma resampler", 3),
+        task("sample hold", 4),
+        task("motion estimation", 5),
+        task("motion compensation", 6),
+        task("transform dct", 7),
+        task("de-blocking filter", 8),
+        task("predictor", 9),
+        task("idct", 10),
+        task("quantization", 11),
+        task("stream out", 12),
+        task("entropy encoder", 13),
+        task("iq", 14),
+    ];
+    let index = |name: &str| {
+        tasks
+            .iter()
+            .position(|t| t.name == name)
+            .unwrap_or_else(|| panic!("unknown task {name}"))
+    };
+    let edge = |src: &str, dst: &str, packets: f64| TaskEdge {
+        src_task: index(src),
+        dst_task: index(dst),
+        packets_per_frame: packets,
+    };
+    // The 19 weights of Fig. 9(a), each used exactly once.
+    let edges = vec![
+        edge("video in", "yuv generator", 420.0),
+        edge("yuv generator", "padding for mv computation", 840.0),
+        edge("yuv generator", "chroma resampler", 280.0),
+        edge("padding for mv computation", "motion estimation", 280.0),
+        edge("chroma resampler", "motion estimation", 280.0),
+        edge("motion estimation", "motion compensation", 560.0),
+        edge("motion compensation", "transform dct", 140.0),
+        edge("transform dct", "quantization", 420.0),
+        edge("quantization", "iq", 210.0),
+        edge("quantization", "entropy encoder", 66.0),
+        edge("iq", "idct", 3.0),
+        edge("idct", "predictor", 3.0),
+        edge("predictor", "motion compensation", 228.0),
+        edge("entropy encoder", "stream out", 66.0),
+        edge("de-blocking filter", "sample hold", 24.0),
+        edge("idct", "de-blocking filter", 60.0),
+        edge("sample hold", "predictor", 24.0),
+        edge("motion compensation", "de-blocking filter", 221.0),
+        edge("predictor", "transform dct", 228.0),
+    ];
+    TaskGraph::new("h264", 4, 4, tasks, edges).expect("the built-in H.264 graph is valid")
+}
+
+fn task(name: &str, mesh_node: usize) -> TaskNode {
+    TaskNode { name: name.to_string(), mesh_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::TrafficSpec;
+
+    #[test]
+    fn graph_matches_figure_9a_inventory() {
+        let g = h264_encoder();
+        assert_eq!(g.mesh_size(), (4, 4));
+        assert_eq!(g.tasks().len(), 15, "Fig. 9(a) has 15 computation blocks");
+        assert_eq!(g.edges().len(), 19, "Fig. 9(a) prints 19 edge weights");
+        // The sum of the printed weights.
+        assert!((g.packets_per_frame() - 4353.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_published_weights_appear_exactly_once() {
+        let g = h264_encoder();
+        let mut weights: Vec<f64> = g.edges().iter().map(|e| e.packets_per_frame).collect();
+        weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected = vec![
+            420.0, 840.0, 280.0, 280.0, 280.0, 560.0, 140.0, 420.0, 210.0, 66.0, 3.0, 3.0, 228.0,
+            66.0, 24.0, 60.0, 24.0, 221.0, 228.0,
+        ];
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(weights, expected);
+    }
+
+    #[test]
+    fn every_task_maps_inside_the_mesh_without_collisions() {
+        let g = h264_encoder();
+        let mut nodes: Vec<usize> = g.tasks().iter().map(|t| t.mesh_node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), g.tasks().len(), "each task has its own mesh node");
+        assert!(nodes.iter().all(|&n| n < 16));
+    }
+
+    #[test]
+    fn traffic_matrix_is_hotspot_shaped() {
+        let g = h264_encoder();
+        let m = g.traffic_matrix(1.0, 20, 0.3);
+        // The YUV generator (video pipeline front-end) is by far the busiest
+        // source: its row total must dominate the average.
+        let yuv_node = g.tasks()[g.task_index("yuv generator").unwrap()].mesh_node;
+        assert!(m.row_total(yuv_node) > 3.0 * m.offered_load());
+        // The unused 16th node carries no traffic.
+        let used: Vec<usize> = g.tasks().iter().map(|t| t.mesh_node).collect();
+        for node in 0..16 {
+            if !used.contains(&node) {
+                assert_eq!(m.row_total(node), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn speed_scaling_is_linear() {
+        let g = h264_encoder();
+        let full = g.traffic_matrix(1.0, 20, 0.3);
+        let quarter = g.traffic_matrix(0.25, 20, 0.3);
+        assert!((quarter.offered_load() - 0.25 * full.offered_load()).abs() < 1e-12);
+    }
+}

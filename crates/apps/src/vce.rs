@@ -1,0 +1,189 @@
+//! The Video Conference Encoder (VCE) task graph of Fig. 9(b), mapped on a
+//! 5×5 mesh.
+//!
+//! The VCE combines three subsystems: an H.264-style video encoding pipeline,
+//! an audio encoding pipeline (filter bank → MDCT → quantizer → Huffman), and
+//! an OFDM modulator fed through a stream multiplexer and memories. The 30
+//! edge weights (packets per encoded frame) are the values printed in the
+//! paper's figure; endpoints and placement are a documented reconstruction
+//! (see `DESIGN.md`). The original figure names 28 blocks including three
+//! separate memories; to fit the 25-node mesh exactly one task per node, the
+//! three memories are modelled as two (video memory and stream memory) and
+//! the SRAM block absorbs the third, which preserves every published edge
+//! weight and the hotspot structure.
+
+use crate::task_graph::{TaskEdge, TaskGraph, TaskNode};
+
+/// Builds the Video Conference Encoder task graph mapped on a 5×5 mesh.
+///
+/// ```
+/// let app = noc_apps::video_conference_encoder();
+/// assert_eq!(app.mesh_size(), (5, 5));
+/// assert_eq!(app.edges().len(), 30);
+/// ```
+pub fn video_conference_encoder() -> TaskGraph {
+    let tasks = vec![
+        // Video front end (top rows).
+        task("video in", 0),
+        task("yuv generator", 1),
+        task("padding for mv computation", 2),
+        task("chroma resampler", 3),
+        task("video memory", 4),
+        task("motion estimation", 5),
+        task("motion compensation", 6),
+        task("transform dct", 7),
+        task("quantization", 8),
+        task("sample hold", 9),
+        task("predictor", 10),
+        task("de-blocking filter", 11),
+        task("idct", 12),
+        task("iq", 13),
+        task("entropy encoder", 14),
+        // Audio pipeline and stream aggregation (bottom rows).
+        task("audio in", 15),
+        task("filter bank", 16),
+        task("mdct", 17),
+        task("audio quantizer", 18),
+        task("huffman encoding", 19),
+        task("ps ts mux", 20),
+        task("stream mux", 21),
+        task("sram", 22),
+        task("fft", 23),
+        task("ifft", 24),
+    ];
+    let index = |name: &str| {
+        tasks
+            .iter()
+            .position(|t| t.name == name)
+            .unwrap_or_else(|| panic!("unknown task {name}"))
+    };
+    let edge = |src: &str, dst: &str, packets: f64| TaskEdge {
+        src_task: index(src),
+        dst_task: index(dst),
+        packets_per_frame: packets,
+    };
+    // The 30 weights of Fig. 9(b), each used exactly once. The video pipeline
+    // carries the large weights (thousands of packets per frame), the audio
+    // pipeline and the modulator the small ones, as in the published figure.
+    let edges = vec![
+        // Video pipeline.
+        edge("video in", "yuv generator", 4200.0),
+        edge("yuv generator", "padding for mv computation", 8400.0),
+        edge("yuv generator", "chroma resampler", 2800.0),
+        edge("padding for mv computation", "motion estimation", 2800.0),
+        edge("chroma resampler", "motion estimation", 2800.0),
+        edge("motion estimation", "motion compensation", 5600.0),
+        edge("motion compensation", "transform dct", 1400.0),
+        edge("video memory", "motion estimation", 30.0),
+        edge("motion compensation", "video memory", 4200.0),
+        edge("transform dct", "quantization", 4200.0),
+        edge("quantization", "iq", 2280.0),
+        edge("quantization", "entropy encoder", 2280.0),
+        edge("iq", "idct", 2210.0),
+        edge("idct", "predictor", 240.0),
+        edge("predictor", "motion compensation", 240.0),
+        edge("idct", "de-blocking filter", 660.0),
+        edge("de-blocking filter", "sample hold", 660.0),
+        edge("sample hold", "predictor", 2100.0),
+        edge("entropy encoder", "stream mux", 640.0),
+        edge("de-blocking filter", "video memory", 30.0),
+        // Audio pipeline.
+        edge("audio in", "filter bank", 2000.0),
+        edge("filter bank", "mdct", 600.0),
+        edge("mdct", "audio quantizer", 640.0),
+        edge("audio quantizer", "huffman encoding", 90.0),
+        edge("huffman encoding", "ps ts mux", 620.0),
+        // Stream aggregation and OFDM modulator.
+        edge("ps ts mux", "stream mux", 90.0),
+        edge("stream mux", "sram", 90.0),
+        edge("sram", "ifft", 90.0),
+        edge("fft", "ifft", 30.0),
+        edge("ifft", "sram", 20.0),
+    ];
+    TaskGraph::new("vce", 5, 5, tasks, edges).expect("the built-in VCE graph is valid")
+}
+
+fn task(name: &str, mesh_node: usize) -> TaskNode {
+    TaskNode { name: name.to_string(), mesh_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::TrafficSpec;
+
+    #[test]
+    fn graph_matches_figure_9b_inventory() {
+        let g = video_conference_encoder();
+        assert_eq!(g.mesh_size(), (5, 5));
+        assert_eq!(g.tasks().len(), 25, "one task per node of the 5x5 mesh");
+        assert_eq!(g.edges().len(), 30, "Fig. 9(b) prints 30 edge weights");
+    }
+
+    #[test]
+    fn all_published_weights_appear_exactly_once() {
+        let g = video_conference_encoder();
+        let mut weights: Vec<f64> = g.edges().iter().map(|e| e.packets_per_frame).collect();
+        weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected = vec![
+            4200.0, 8400.0, 2800.0, 2800.0, 5600.0, 2800.0, 1400.0, 30.0, 2280.0, 4200.0, 4200.0,
+            2280.0, 2210.0, 240.0, 240.0, 660.0, 660.0, 2100.0, 640.0, 30.0, 2000.0, 600.0, 640.0,
+            90.0, 620.0, 90.0, 90.0, 90.0, 30.0, 20.0,
+        ];
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(weights, expected);
+    }
+
+    #[test]
+    fn vce_is_heavier_than_h264() {
+        // The VCE processes larger frames plus audio: roughly an order of
+        // magnitude more packets per frame than the H.264 graph.
+        let vce = video_conference_encoder();
+        let h264 = crate::h264_encoder();
+        assert!(vce.packets_per_frame() > 5.0 * h264.packets_per_frame());
+    }
+
+    #[test]
+    fn mapping_covers_the_whole_mesh_without_collisions() {
+        let g = video_conference_encoder();
+        let mut nodes: Vec<usize> = g.tasks().iter().map(|t| t.mesh_node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 25);
+        assert!(nodes.iter().all(|&n| n < 25));
+    }
+
+    #[test]
+    fn heavy_video_edges_are_mapped_to_short_paths() {
+        // The reconstruction places the heaviest producer/consumer pairs on
+        // neighbouring nodes so that hotspot links resemble the original
+        // mapping; check the top edge (8400 packets) spans at most 2 hops.
+        let g = video_conference_encoder();
+        let heaviest = g
+            .edges()
+            .iter()
+            .max_by(|a, b| a.packets_per_frame.partial_cmp(&b.packets_per_frame).unwrap())
+            .unwrap();
+        let src = g.tasks()[heaviest.src_task].mesh_node;
+        let dst = g.tasks()[heaviest.dst_task].mesh_node;
+        let (sx, sy) = (src % 5, src / 5);
+        let (dx, dy) = (dst % 5, dst / 5);
+        let hops = sx.abs_diff(dx) + sy.abs_diff(dy);
+        assert!(hops <= 2, "heaviest edge spans {hops} hops");
+    }
+
+    #[test]
+    fn traffic_matrix_scales_and_keeps_audio_video_ratio() {
+        let g = video_conference_encoder();
+        let m = g.traffic_matrix(1.0, 20, 0.35);
+        let audio_in = g.tasks()[g.task_index("audio in").unwrap()].mesh_node;
+        let video_in = g.tasks()[g.task_index("video in").unwrap()].mesh_node;
+        assert!(
+            m.row_total(video_in) > m.row_total(audio_in),
+            "video front-end must be busier than audio front-end"
+        );
+        assert!(m.offered_load() > 0.0);
+        let slow = g.traffic_matrix(0.1, 20, 0.35);
+        assert!((slow.offered_load() - 0.1 * m.offered_load()).abs() < 1e-12);
+    }
+}

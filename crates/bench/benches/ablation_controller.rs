@@ -1,0 +1,71 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! the DMSD PI gains and the control update period. Each case runs one
+//! closed-loop DMSD point; the interesting output is both the runtime (here)
+//! and, when run through the `figures` binary at higher quality, how far the
+//! measured delay lands from the 150 ns target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench_support::bench_network;
+use noc_dvfs::{run_operating_point, ClosedLoopConfig, DmsdConfig, PolicyKind};
+use noc_sim::{SyntheticTraffic, TrafficPattern, TrafficSpec};
+use std::time::Duration;
+
+fn traffic() -> Box<dyn TrafficSpec> {
+    Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.12, 5))
+}
+
+fn loop_with_period(period: u64) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        control_period_cycles: period,
+        warmup_intervals: 2,
+        measure_intervals: 4,
+        max_settle_intervals: 20,
+        settle_tolerance: 0.01,
+    }
+}
+
+fn bench_pi_gains(c: &mut Criterion) {
+    let net = bench_network();
+    let loop_cfg = loop_with_period(800);
+    let mut group = c.benchmark_group("ablation_pi_gains");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    // The paper's gains, a slower loop and a faster loop.
+    let cases = [("paper_ki0.025_kp0.0125", 0.025, 0.0125), ("slow_ki0.01", 0.01, 0.005), ("fast_ki0.1", 0.1, 0.05)];
+    for (name, ki, kp) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_operating_point(
+                    &net,
+                    traffic(),
+                    PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0).gains(ki, kp)),
+                    &loop_cfg,
+                    9,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_control_period(c: &mut Criterion) {
+    let net = bench_network();
+    let mut group = c.benchmark_group("ablation_control_period");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    for period in [400u64, 800, 1_600] {
+        group.bench_function(format!("period_{period}_cycles"), |b| {
+            b.iter(|| {
+                run_operating_point(
+                    &net,
+                    traffic(),
+                    PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0)),
+                    &loop_with_period(period),
+                    9,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pi_gains, bench_control_period);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 10 bench: one closed-loop point per multimedia application (H.264 on
+//! a 4×4 mesh, VCE on a 5×5 mesh) driven by its reconstructed traffic matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_apps::{h264_encoder, video_conference_encoder, TaskGraph};
+use noc_dvfs::{run_operating_point, ClosedLoopConfig, DmsdConfig, PolicyKind};
+use noc_sim::{NetworkConfig, TrafficSpec};
+use std::time::Duration;
+
+fn short_loop() -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        control_period_cycles: 600,
+        warmup_intervals: 2,
+        measure_intervals: 3,
+        max_settle_intervals: 10,
+        settle_tolerance: 0.01,
+    }
+}
+
+fn bench_app(c: &mut Criterion, group_name: &str, app: &TaskGraph) {
+    let (w, h) = app.mesh_size();
+    let net = NetworkConfig::builder().mesh(w, h).packet_length(10).build().unwrap();
+    let loop_cfg = short_loop();
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    group.bench_function("dmsd_point_speed_0.5", |b| {
+        b.iter(|| {
+            let traffic: Box<dyn TrafficSpec> = Box::new(app.traffic_matrix(0.5, 10, 0.3));
+            run_operating_point(
+                &net,
+                traffic,
+                PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0)),
+                &loop_cfg,
+                6,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    bench_app(c, "fig10_h264", &h264_encoder());
+    bench_app(c, "fig10_vce", &video_conference_encoder());
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

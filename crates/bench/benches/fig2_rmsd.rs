@@ -1,0 +1,39 @@
+//! Fig. 2 bench: one RMSD closed-loop operating point (latency/delay vs rate
+//! under rate-based DVFS) on a reduced mesh. Regenerating the full figure is
+//! the job of the `figures` binary; this bench tracks the cost of the
+//! underlying experiment so simulator regressions are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench_support::{bench_loop, bench_network};
+use noc_dvfs::{run_operating_point, PolicyKind, RmsdConfig};
+use noc_sim::{SyntheticTraffic, TrafficPattern, TrafficSpec};
+use std::time::Duration;
+
+fn traffic(rate: f64) -> Box<dyn TrafficSpec> {
+    Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, rate, 5))
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let net = bench_network();
+    let loop_cfg = bench_loop();
+    let mut group = c.benchmark_group("fig2_rmsd_vs_nodvfs");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    group.bench_function("no_dvfs_point_rate_0.15", |b| {
+        b.iter(|| run_operating_point(&net, traffic(0.15), PolicyKind::NoDvfs, &loop_cfg, 1))
+    });
+    group.bench_function("rmsd_point_rate_0.15", |b| {
+        b.iter(|| {
+            run_operating_point(
+                &net,
+                traffic(0.15),
+                PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+                &loop_cfg,
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 4 bench: one DMSD closed-loop operating point (PI loop tracking the
+//! delay target) including the adaptive settling phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench_support::{bench_loop, bench_network};
+use noc_dvfs::{run_operating_point, DmsdConfig, PolicyKind};
+use noc_sim::{SyntheticTraffic, TrafficPattern, TrafficSpec};
+use std::time::Duration;
+
+fn traffic(rate: f64) -> Box<dyn TrafficSpec> {
+    Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, rate, 5))
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let net = bench_network();
+    let loop_cfg = bench_loop();
+    let mut group = c.benchmark_group("fig4_dmsd_pi_loop");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    for rate in [0.08, 0.2] {
+        group.bench_function(format!("dmsd_point_rate_{rate}"), |b| {
+            b.iter(|| {
+                run_operating_point(
+                    &net,
+                    traffic(rate),
+                    PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0)),
+                    &loop_cfg,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

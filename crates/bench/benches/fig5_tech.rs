@@ -1,0 +1,24 @@
+//! Fig. 5 bench: the 28-nm FDSOI frequency/voltage model (curve sampling and
+//! the bisection-based inverse used on every DVFS actuation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_power::FdsoiTech;
+use noc_sim::Hertz;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let tech = FdsoiTech::new();
+    c.bench_function("fig5_frequency_voltage_curve_100_points", |b| {
+        b.iter(|| black_box(tech.frequency_voltage_curve(100)))
+    });
+    c.bench_function("fig5_vdd_for_frequency_bisection", |b| {
+        b.iter(|| {
+            for mhz in [350.0, 450.0, 600.0, 750.0, 900.0, 1000.0] {
+                black_box(tech.vdd_for_frequency(Hertz::from_mhz(mhz)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

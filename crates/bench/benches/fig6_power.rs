@@ -1,0 +1,40 @@
+//! Fig. 6 bench: activity-driven power estimation of a full mesh (the
+//! conversion from simulated switching activity to milliwatts performed at
+//! every control interval of every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_power::{FdsoiTech, RouterPowerModel};
+use noc_sim::{Hertz, NetworkActivity, NocSimulation, SyntheticTraffic, TrafficPattern};
+use noc_sim::NetworkConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Produces a realistic activity snapshot by actually simulating the paper
+/// baseline for a short while.
+fn baseline_activity() -> (NetworkActivity, f64) {
+    let cfg = NetworkConfig::paper_baseline();
+    let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.2, cfg.packet_length());
+    let mut sim = NocSimulation::new(cfg, Box::new(traffic), 3);
+    sim.run_cycles(5_000);
+    let wall = sim.wall_time().as_ps();
+    (sim.take_activity(), wall)
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let (activity, duration_ps) = baseline_activity();
+    let model = RouterPowerModel::new();
+    let tech = FdsoiTech::new();
+    let mut group = c.benchmark_group("fig6_power_estimation");
+    group.measurement_time(Duration::from_secs(3));
+    for mhz in [333.0, 666.0, 1000.0] {
+        let f = Hertz::from_mhz(mhz);
+        let vdd = tech.vdd_for_frequency(f);
+        group.bench_function(format!("network_power_25_routers_{mhz}MHz"), |b| {
+            b.iter(|| black_box(model.network_power(&activity, f, vdd, duration_ps)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

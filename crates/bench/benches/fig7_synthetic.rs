@@ -1,0 +1,39 @@
+//! Fig. 7 bench: one closed-loop DMSD point per synthetic traffic pattern
+//! (tornado, bit-complement, transpose, neighbor) on a reduced mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::bench_support::{bench_loop, bench_network};
+use noc_dvfs::{run_operating_point, DmsdConfig, PolicyKind};
+use noc_sim::{SyntheticTraffic, TrafficPattern, TrafficSpec};
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let net = bench_network();
+    let loop_cfg = bench_loop();
+    let mut group = c.benchmark_group("fig7_synthetic_patterns");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    for pattern in [
+        TrafficPattern::Tornado,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Transpose,
+        TrafficPattern::Neighbor,
+    ] {
+        group.bench_function(format!("dmsd_point_{}", pattern.name()), |b| {
+            b.iter(|| {
+                let traffic: Box<dyn TrafficSpec> =
+                    Box::new(SyntheticTraffic::new(pattern, 0.12, 5));
+                run_operating_point(
+                    &net,
+                    traffic,
+                    PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0)),
+                    &loop_cfg,
+                    2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 8 bench: the cost of one closed-loop point under each
+//! micro-architectural variation axis (virtual channels, buffer depth, packet
+//! size, mesh size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_dvfs::experiments::SensitivityAxis;
+use noc_dvfs::{run_operating_point, ClosedLoopConfig, PolicyKind, RmsdConfig};
+use noc_sim::{SyntheticTraffic, TrafficPattern, TrafficSpec};
+use std::time::Duration;
+
+fn short_loop() -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        control_period_cycles: 600,
+        warmup_intervals: 2,
+        measure_intervals: 3,
+        max_settle_intervals: 10,
+        settle_tolerance: 0.01,
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let loop_cfg = short_loop();
+    let mut group = c.benchmark_group("fig8_sensitivity");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    // One representative (cheap) value per axis; the 8x8 mesh and 16-deep
+    // buffers are exercised by the figures binary rather than timed here.
+    let cases = [
+        (SensitivityAxis::VirtualChannels, 2usize),
+        (SensitivityAxis::BufferDepth, 8),
+        (SensitivityAxis::PacketSize, 10),
+        (SensitivityAxis::MeshSize, 4),
+    ];
+    for (axis, value) in cases {
+        let net = axis.config(value);
+        let label = axis.label(value);
+        group.bench_function(format!("rmsd_point_{label}"), |b| {
+            b.iter(|| {
+                let traffic: Box<dyn TrafficSpec> = Box::new(SyntheticTraffic::new(
+                    TrafficPattern::Uniform,
+                    0.1,
+                    net.packet_length(),
+                ));
+                run_operating_point(
+                    &net,
+                    traffic,
+                    PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3)),
+                    &loop_cfg,
+                    4,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Raw simulator throughput: cycles simulated per second for the paper
+//! baseline and the largest (8×8) mesh, at light and heavy load. These are
+//! the numbers that determine how long every experiment of the paper takes to
+//! regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern};
+use std::time::Duration;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let cycles: u64 = 2_000;
+    let mut group = c.benchmark_group("sim_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(cycles));
+
+    let cases = [
+        ("5x5_paper_baseline_light_load", NetworkConfig::paper_baseline(), 0.05),
+        ("5x5_paper_baseline_heavy_load", NetworkConfig::paper_baseline(), 0.35),
+        (
+            "8x8_mesh_light_load",
+            NetworkConfig::builder().mesh(8, 8).build().unwrap(),
+            0.05,
+        ),
+    ];
+    for (name, cfg, rate) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let traffic =
+                        SyntheticTraffic::new(TrafficPattern::Uniform, rate, cfg.packet_length());
+                    NocSimulation::new(cfg.clone(), Box::new(traffic), 1)
+                },
+                |mut sim| {
+                    sim.run_cycles(cycles);
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Load sweeps: run one policy over a list of load levels.
+
+use crate::closed_loop::{run_operating_point, ClosedLoopConfig, OperatingPointResult};
+use crate::policy::PolicyKind;
+use noc_sim::{NetworkConfig, TrafficSpec};
+use serde::{Deserialize, Serialize};
+
+/// One (load, result) pair of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The load parameter (injection rate for synthetic traffic, relative
+    /// application speed for multimedia traffic).
+    pub load: f64,
+    /// The measured operating point.
+    pub result: OperatingPointResult,
+}
+
+/// A full load sweep for one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCurve {
+    /// Policy name (figure legend label).
+    pub policy: String,
+    /// The sweep, ordered by increasing load.
+    pub points: Vec<SweepPoint>,
+}
+
+impl PolicyCurve {
+    /// The point whose load is closest to `load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn nearest(&self, load: f64) -> &SweepPoint {
+        assert!(!self.points.is_empty(), "cannot query an empty curve");
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.load - load).abs().partial_cmp(&(b.load - load).abs()).expect("finite loads")
+            })
+            .expect("non-empty")
+    }
+
+    /// The loads covered by the sweep.
+    pub fn loads(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.load).collect()
+    }
+
+    /// The average delay (ns) series, ordered like [`loads`](Self::loads).
+    pub fn delays_ns(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.result.avg_delay_ns).collect()
+    }
+
+    /// The average latency (cycles) series.
+    pub fn latencies_cycles(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.result.avg_latency_cycles).collect()
+    }
+
+    /// The total power (mW) series.
+    pub fn powers_mw(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.result.power_mw).collect()
+    }
+
+    /// The time-averaged clock frequency (GHz) series.
+    pub fn frequencies_ghz(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.result.avg_frequency_ghz).collect()
+    }
+}
+
+/// Runs `policy` at every load in `loads`, building the traffic for each load
+/// with `make_traffic`.
+pub fn sweep_policy(
+    net: &NetworkConfig,
+    loads: &[f64],
+    make_traffic: &dyn Fn(f64) -> Box<dyn TrafficSpec>,
+    policy: &PolicyKind,
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> PolicyCurve {
+    let points = loads
+        .iter()
+        .map(|&load| SweepPoint {
+            load,
+            result: run_operating_point(net, make_traffic(load), policy.clone(), loop_cfg, seed),
+        })
+        .collect();
+    PolicyCurve { policy: policy.name().to_string(), points }
+}
+
+/// Runs several policies over the same loads (the standard No-DVFS / RMSD /
+/// DMSD comparison of every figure).
+pub fn sweep_policies(
+    net: &NetworkConfig,
+    loads: &[f64],
+    make_traffic: &dyn Fn(f64) -> Box<dyn TrafficSpec>,
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<PolicyCurve> {
+    policies
+        .iter()
+        .map(|p| sweep_policy(net, loads, make_traffic, p, loop_cfg, seed))
+        .collect()
+}
+
+/// Generates `count` evenly spaced loads in `[lo, hi]` (inclusive).
+///
+/// # Panics
+///
+/// Panics if `count < 2` or the interval is inverted.
+pub fn load_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 2, "need at least two load points");
+    assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "invalid load interval");
+    (0..count).map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmsd::RmsdConfig;
+    use noc_sim::{SyntheticTraffic, TrafficPattern};
+
+    fn small_net() -> NetworkConfig {
+        NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .build()
+            .unwrap()
+    }
+
+    fn uniform(load: f64) -> Box<dyn TrafficSpec> {
+        Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, load, 5))
+    }
+
+    #[test]
+    fn load_grid_is_inclusive_and_even() {
+        let g = load_grid(0.1, 0.3, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[4] - 0.3).abs() < 1e-12);
+        assert!((g[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_grid_rejected() {
+        let _ = load_grid(0.1, 0.3, 1);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let net = small_net();
+        let loads = [0.05, 0.15];
+        let curve = sweep_policy(
+            &net,
+            &loads,
+            &uniform,
+            &PolicyKind::NoDvfs,
+            &ClosedLoopConfig::quick(),
+            1,
+        );
+        assert_eq!(curve.points.len(), 2);
+        assert_eq!(curve.policy, "No-DVFS");
+        assert_eq!(curve.loads(), vec![0.05, 0.15]);
+        assert!(curve.delays_ns().iter().all(|&d| d > 0.0));
+        assert!(curve.powers_mw()[1] > curve.powers_mw()[0], "more load, more power");
+    }
+
+    #[test]
+    fn nearest_point_lookup() {
+        let net = small_net();
+        let curve = sweep_policy(
+            &net,
+            &[0.05, 0.10, 0.20],
+            &uniform,
+            &PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3)),
+            &ClosedLoopConfig::quick(),
+            2,
+        );
+        assert_eq!(curve.nearest(0.11).load, 0.10);
+        assert_eq!(curve.nearest(0.0).load, 0.05);
+        assert_eq!(curve.nearest(9.0).load, 0.20);
+    }
+
+    #[test]
+    fn multi_policy_sweep_keeps_policy_order() {
+        let net = small_net();
+        let curves = sweep_policies(
+            &net,
+            &[0.1],
+            &uniform,
+            &[PolicyKind::NoDvfs, PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3))],
+            &ClosedLoopConfig::quick(),
+            3,
+        );
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].policy, "No-DVFS");
+        assert_eq!(curves[1].policy, "RMSD");
+    }
+}

@@ -1,0 +1,225 @@
+//! Separable input-first allocator.
+//!
+//! Both the virtual-channel allocator and the switch allocator of the router
+//! are instances of the same separable scheme: a first round of per-*requester
+//! group* arbitration reduces each group to at most one request, and a second
+//! round of per-*resource* arbitration picks a winner among the surviving
+//! requests. This mirrors the iSLIP-like separable allocators of the
+//! reference router and keeps every stage O(requests).
+
+use crate::arbiter::RoundRobinArbiter;
+
+/// A request from `requester` (identified by a group and a member within the
+/// group) for `resource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRequest {
+    /// Requester group (e.g. input port).
+    pub group: usize,
+    /// Member within the group (e.g. virtual channel within the input port).
+    pub member: usize,
+    /// Requested resource (e.g. output port, or output VC index).
+    pub resource: usize,
+}
+
+/// A granted (requester, resource) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocGrant {
+    /// Requester group of the winner.
+    pub group: usize,
+    /// Member within the winning group.
+    pub member: usize,
+    /// Resource that was granted.
+    pub resource: usize,
+}
+
+/// Separable input-first allocator with round-robin arbiters.
+#[derive(Debug, Clone)]
+pub struct SeparableAllocator {
+    groups: usize,
+    members_per_group: usize,
+    resources: usize,
+    input_arbiters: Vec<RoundRobinArbiter>,
+    output_arbiters: Vec<RoundRobinArbiter>,
+}
+
+impl SeparableAllocator {
+    /// Creates an allocator for `groups × members_per_group` requesters and
+    /// `resources` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(groups: usize, members_per_group: usize, resources: usize) -> Self {
+        assert!(groups > 0 && members_per_group > 0 && resources > 0);
+        SeparableAllocator {
+            groups,
+            members_per_group,
+            resources,
+            input_arbiters: (0..groups).map(|_| RoundRobinArbiter::new(members_per_group)).collect(),
+            output_arbiters: (0..resources).map(|_| RoundRobinArbiter::new(groups)).collect(),
+        }
+    }
+
+    /// Number of requester groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of resources.
+    pub fn resources(&self) -> usize {
+        self.resources
+    }
+
+    /// Performs one allocation round.
+    ///
+    /// Each group receives at most one grant and each resource is granted to
+    /// at most one group. Requests naming an out-of-range group, member or
+    /// resource are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator was built with more than 64 members per group
+    /// or more than 64 groups (the router never needs more; the limit keeps
+    /// the per-cycle arbitration allocation-free).
+    pub fn allocate(&mut self, requests: &[AllocRequest]) -> Vec<AllocGrant> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            self.members_per_group <= 64 && self.groups <= 64,
+            "separable allocator supports at most 64 members and 64 groups"
+        );
+        // Stage 1: per-group arbitration among that group's requesting members.
+        let mut stage1: Vec<Option<(usize, usize)>> = vec![None; self.groups]; // (member, resource)
+        for group in 0..self.groups {
+            let mut member_mask = 0u64;
+            for req in requests {
+                if req.group == group
+                    && req.member < self.members_per_group
+                    && req.resource < self.resources
+                {
+                    member_mask |= 1u64 << req.member;
+                }
+            }
+            if let Some(member) = self.input_arbiters[group].peek_mask(member_mask) {
+                // Find the resource this member asked for (first matching request).
+                let resource = requests
+                    .iter()
+                    .find(|r| r.group == group && r.member == member && r.resource < self.resources)
+                    .map(|r| r.resource)
+                    .expect("peek only returns members that requested something");
+                stage1[group] = Some((member, resource));
+            }
+        }
+
+        // Stage 2: per-resource arbitration among groups that survived stage 1.
+        // Only resources that were actually requested need an arbitration round.
+        let mut grants = Vec::new();
+        let mut done_resources: Vec<usize> = Vec::new();
+        for (_g, s) in stage1.iter().enumerate() {
+            let Some((_member, resource)) = s else { continue };
+            let resource = *resource;
+            if done_resources.contains(&resource) {
+                continue;
+            }
+            done_resources.push(resource);
+            let mut group_mask = 0u64;
+            for (group, s2) in stage1.iter().enumerate() {
+                if let Some((_m, r)) = s2 {
+                    if *r == resource {
+                        group_mask |= 1u64 << group;
+                    }
+                }
+            }
+            if let Some(group) = self.output_arbiters[resource].peek_mask(group_mask) {
+                let (member, _r) = stage1[group].expect("stage-1 winner exists");
+                grants.push(AllocGrant { group, member, resource });
+                // Rotate both arbiters only for committed grants so that
+                // losing requesters keep their priority.
+                self.output_arbiters[resource].commit(group);
+                self.input_arbiters[group].commit(member);
+            }
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(group: usize, member: usize, resource: usize) -> AllocRequest {
+        AllocRequest { group, member, resource }
+    }
+
+    #[test]
+    fn single_request_is_granted() {
+        let mut alloc = SeparableAllocator::new(3, 2, 4);
+        let grants = alloc.allocate(&[req(1, 0, 2)]);
+        assert_eq!(grants, vec![AllocGrant { group: 1, member: 0, resource: 2 }]);
+    }
+
+    #[test]
+    fn each_resource_granted_at_most_once() {
+        let mut alloc = SeparableAllocator::new(4, 1, 2);
+        let grants = alloc.allocate(&[req(0, 0, 0), req(1, 0, 0), req(2, 0, 0), req(3, 0, 0)]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].resource, 0);
+    }
+
+    #[test]
+    fn each_group_granted_at_most_once() {
+        let mut alloc = SeparableAllocator::new(1, 4, 4);
+        // One group with four members asking for four different resources:
+        // input-first arbitration lets only one member through.
+        let grants = alloc.allocate(&[req(0, 0, 0), req(0, 1, 1), req(0, 2, 2), req(0, 3, 3)]);
+        assert_eq!(grants.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_requests_all_granted() {
+        let mut alloc = SeparableAllocator::new(3, 1, 3);
+        let grants = alloc.allocate(&[req(0, 0, 0), req(1, 0, 1), req(2, 0, 2)]);
+        assert_eq!(grants.len(), 3);
+    }
+
+    #[test]
+    fn contention_resolves_fairly_over_rounds() {
+        let mut alloc = SeparableAllocator::new(2, 1, 1);
+        let requests = [req(0, 0, 0), req(1, 0, 0)];
+        let mut wins = [0usize; 2];
+        for _ in 0..100 {
+            for g in alloc.allocate(&requests) {
+                wins[g.group] += 1;
+            }
+        }
+        assert_eq!(wins[0], 50);
+        assert_eq!(wins[1], 50);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_ignored() {
+        let mut alloc = SeparableAllocator::new(2, 2, 2);
+        let grants = alloc.allocate(&[req(5, 0, 0), req(0, 7, 1), req(1, 0, 9)]);
+        assert!(grants.is_empty());
+    }
+
+    #[test]
+    fn grants_reference_actual_requests() {
+        let mut alloc = SeparableAllocator::new(5, 8, 5);
+        let requests =
+            vec![req(0, 3, 1), req(0, 5, 2), req(2, 1, 1), req(3, 0, 4), req(4, 7, 2)];
+        let grants = alloc.allocate(&requests);
+        for g in &grants {
+            assert!(
+                requests
+                    .iter()
+                    .any(|r| r.group == g.group && r.member == g.member && r.resource == g.resource),
+                "grant {g:?} does not correspond to any request"
+            );
+        }
+        // Disjoint groups and at least partially disjoint resources: expect
+        // at least 3 grants (0→1 or 2, 2→1, 3→4, 4→2).
+        assert!(grants.len() >= 3);
+    }
+}

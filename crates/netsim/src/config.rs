@@ -1,0 +1,347 @@
+//! Network configuration and its builder.
+//!
+//! [`NetworkConfig`] captures every micro-architectural parameter varied in the
+//! paper's sensitivity analysis (Fig. 8): mesh size, number of virtual
+//! channels, buffer depth per virtual channel, and packet size; plus the
+//! frequency range of the NoC clock and the fixed node-clock frequency.
+
+use crate::error::ConfigError;
+use crate::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// Default node clock frequency used throughout the paper (1 GHz).
+pub const DEFAULT_NODE_FREQUENCY_HZ: f64 = 1.0e9;
+/// Default minimum NoC frequency (333 MHz), the low end of the DVFS range.
+pub const DEFAULT_MIN_FREQUENCY_HZ: f64 = 333.0e6;
+/// Default maximum NoC frequency (1 GHz), the high end of the DVFS range.
+pub const DEFAULT_MAX_FREQUENCY_HZ: f64 = 1.0e9;
+
+/// Full configuration of a simulated NoC.
+///
+/// Construct one through [`NetworkConfig::builder`]; the builder validates the
+/// parameters so that an existing `NetworkConfig` is always usable.
+///
+/// ```
+/// use noc_sim::NetworkConfig;
+///
+/// # fn main() -> Result<(), noc_sim::ConfigError> {
+/// let cfg = NetworkConfig::builder()
+///     .mesh(5, 5)
+///     .virtual_channels(8)
+///     .buffer_depth(4)
+///     .packet_length(20)
+///     .build()?;
+/// assert_eq!(cfg.node_count(), 25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    width: usize,
+    height: usize,
+    virtual_channels: usize,
+    buffer_depth: usize,
+    packet_length: usize,
+    link_latency: u64,
+    credit_latency: u64,
+    node_frequency_hz: f64,
+    min_frequency_hz: f64,
+    max_frequency_hz: f64,
+}
+
+impl NetworkConfig {
+    /// Starts building a configuration with the paper's default parameters
+    /// (5×5 mesh, 8 VCs, 4 buffers per VC, 20-flit packets, 1 GHz node clock,
+    /// NoC clock range 333 MHz – 1 GHz).
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder::new()
+    }
+
+    /// The configuration used for the paper's baseline experiments
+    /// (Figs. 2, 4 and 6): 5×5 mesh, 8 VCs, 4 buffers per VC, 20-flit packets.
+    pub fn paper_baseline() -> NetworkConfig {
+        NetworkConfig::builder().build().expect("paper baseline configuration is valid")
+    }
+
+    /// Mesh width (number of columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (number of rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes (`width × height`).
+    pub fn node_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of virtual channels per input port.
+    pub fn virtual_channels(&self) -> usize {
+        self.virtual_channels
+    }
+
+    /// Buffer depth (in flits) of each virtual channel.
+    pub fn buffer_depth(&self) -> usize {
+        self.buffer_depth
+    }
+
+    /// Number of flits per packet.
+    pub fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+
+    /// Link traversal latency in NoC cycles.
+    pub fn link_latency(&self) -> u64 {
+        self.link_latency
+    }
+
+    /// Credit return latency in NoC cycles.
+    pub fn credit_latency(&self) -> u64 {
+        self.credit_latency
+    }
+
+    /// Fixed frequency of the injecting nodes.
+    pub fn node_frequency(&self) -> Hertz {
+        Hertz::new(self.node_frequency_hz)
+    }
+
+    /// Lower bound of the NoC clock frequency range.
+    pub fn min_frequency(&self) -> Hertz {
+        Hertz::new(self.min_frequency_hz)
+    }
+
+    /// Upper bound of the NoC clock frequency range.
+    pub fn max_frequency(&self) -> Hertz {
+        Hertz::new(self.max_frequency_hz)
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::paper_baseline()
+    }
+}
+
+/// Builder for [`NetworkConfig`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    width: usize,
+    height: usize,
+    virtual_channels: usize,
+    buffer_depth: usize,
+    packet_length: usize,
+    link_latency: u64,
+    credit_latency: u64,
+    node_frequency_hz: f64,
+    min_frequency_hz: f64,
+    max_frequency_hz: f64,
+}
+
+impl NetworkConfigBuilder {
+    /// Creates a builder pre-loaded with the paper's baseline parameters.
+    pub fn new() -> Self {
+        NetworkConfigBuilder {
+            width: 5,
+            height: 5,
+            virtual_channels: 8,
+            buffer_depth: 4,
+            packet_length: 20,
+            link_latency: 1,
+            credit_latency: 1,
+            node_frequency_hz: DEFAULT_NODE_FREQUENCY_HZ,
+            min_frequency_hz: DEFAULT_MIN_FREQUENCY_HZ,
+            max_frequency_hz: DEFAULT_MAX_FREQUENCY_HZ,
+        }
+    }
+
+    /// Sets the mesh dimensions (columns × rows).
+    pub fn mesh(mut self, width: usize, height: usize) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Sets the number of virtual channels per input port.
+    pub fn virtual_channels(mut self, vcs: usize) -> Self {
+        self.virtual_channels = vcs;
+        self
+    }
+
+    /// Sets the buffer depth (flits) of each virtual channel.
+    pub fn buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the packet length in flits.
+    pub fn packet_length(mut self, flits: usize) -> Self {
+        self.packet_length = flits;
+        self
+    }
+
+    /// Sets the link traversal latency in NoC cycles (default 1).
+    pub fn link_latency(mut self, cycles: u64) -> Self {
+        self.link_latency = cycles.max(1);
+        self
+    }
+
+    /// Sets the credit return latency in NoC cycles (default 1).
+    pub fn credit_latency(mut self, cycles: u64) -> Self {
+        self.credit_latency = cycles.max(1);
+        self
+    }
+
+    /// Sets the fixed node clock frequency.
+    pub fn node_frequency(mut self, f: Hertz) -> Self {
+        self.node_frequency_hz = f.as_hz();
+        self
+    }
+
+    /// Sets the NoC clock frequency range available to the DVFS controller.
+    pub fn frequency_range(mut self, min: Hertz, max: Hertz) -> Self {
+        self.min_frequency_hz = min.as_hz();
+        self.max_frequency_hz = max.as_hz();
+        self
+    }
+
+    /// Validates the parameters and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the mesh is smaller than 2×2, there are no
+    /// virtual channels or buffer slots, packets are empty, or the frequency
+    /// range is inverted.
+    pub fn build(self) -> Result<NetworkConfig, ConfigError> {
+        if self.width < 2 || self.height < 2 {
+            return Err(ConfigError::MeshTooSmall { width: self.width, height: self.height });
+        }
+        if self.virtual_channels == 0 {
+            return Err(ConfigError::NoVirtualChannels);
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::NoBufferSlots);
+        }
+        if self.packet_length == 0 {
+            return Err(ConfigError::EmptyPacket);
+        }
+        if self.min_frequency_hz > self.max_frequency_hz {
+            return Err(ConfigError::InvalidFrequencyRange {
+                min_hz: self.min_frequency_hz,
+                max_hz: self.max_frequency_hz,
+            });
+        }
+        Ok(NetworkConfig {
+            width: self.width,
+            height: self.height,
+            virtual_channels: self.virtual_channels,
+            buffer_depth: self.buffer_depth,
+            packet_length: self.packet_length,
+            link_latency: self.link_latency,
+            credit_latency: self.credit_latency,
+            node_frequency_hz: self.node_frequency_hz,
+            min_frequency_hz: self.min_frequency_hz,
+            max_frequency_hz: self.max_frequency_hz,
+        })
+    }
+}
+
+impl Default for NetworkConfigBuilder {
+    fn default() -> Self {
+        NetworkConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_section_iii() {
+        let cfg = NetworkConfig::paper_baseline();
+        assert_eq!(cfg.width(), 5);
+        assert_eq!(cfg.height(), 5);
+        assert_eq!(cfg.virtual_channels(), 8);
+        assert_eq!(cfg.buffer_depth(), 4);
+        assert_eq!(cfg.packet_length(), 20);
+        assert_eq!(cfg.node_frequency().as_ghz(), 1.0);
+        assert_eq!(cfg.min_frequency().as_mhz(), 333.0);
+        assert_eq!(cfg.max_frequency().as_ghz(), 1.0);
+    }
+
+    #[test]
+    fn default_equals_paper_baseline() {
+        assert_eq!(NetworkConfig::default(), NetworkConfig::paper_baseline());
+    }
+
+    #[test]
+    fn builder_rejects_tiny_mesh() {
+        let err = NetworkConfig::builder().mesh(1, 4).build().unwrap_err();
+        assert_eq!(err, ConfigError::MeshTooSmall { width: 1, height: 4 });
+    }
+
+    #[test]
+    fn builder_rejects_zero_vcs() {
+        let err = NetworkConfig::builder().virtual_channels(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoVirtualChannels);
+    }
+
+    #[test]
+    fn builder_rejects_zero_buffers() {
+        let err = NetworkConfig::builder().buffer_depth(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoBufferSlots);
+    }
+
+    #[test]
+    fn builder_rejects_empty_packets() {
+        let err = NetworkConfig::builder().packet_length(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyPacket);
+    }
+
+    #[test]
+    fn builder_rejects_inverted_frequency_range() {
+        let err = NetworkConfig::builder()
+            .frequency_range(Hertz::from_ghz(2.0), Hertz::from_ghz(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidFrequencyRange { .. }));
+    }
+
+    #[test]
+    fn builder_customization_sticks() {
+        let cfg = NetworkConfig::builder()
+            .mesh(8, 8)
+            .virtual_channels(2)
+            .buffer_depth(16)
+            .packet_length(10)
+            .link_latency(2)
+            .credit_latency(3)
+            .node_frequency(Hertz::from_ghz(2.0))
+            .frequency_range(Hertz::from_mhz(250.0), Hertz::from_ghz(2.0))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.node_count(), 64);
+        assert_eq!(cfg.virtual_channels(), 2);
+        assert_eq!(cfg.buffer_depth(), 16);
+        assert_eq!(cfg.packet_length(), 10);
+        assert_eq!(cfg.link_latency(), 2);
+        assert_eq!(cfg.credit_latency(), 3);
+        assert_eq!(cfg.node_frequency().as_ghz(), 2.0);
+        assert_eq!(cfg.min_frequency().as_mhz(), 250.0);
+    }
+
+    #[test]
+    fn link_latency_never_below_one() {
+        let cfg = NetworkConfig::builder().link_latency(0).credit_latency(0).build().unwrap();
+        assert_eq!(cfg.link_latency(), 1);
+        assert_eq!(cfg.credit_latency(), 1);
+    }
+
+    #[test]
+    fn config_is_serializable_send_and_sync() {
+        fn assert_traits<T: serde::Serialize + serde::de::DeserializeOwned + Send + Sync>() {}
+        assert_traits::<NetworkConfig>();
+    }
+}

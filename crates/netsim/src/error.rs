@@ -1,0 +1,79 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid [`NetworkConfig`](crate::NetworkConfig) was requested.
+///
+/// Returned by [`NetworkConfigBuilder::build`](crate::NetworkConfigBuilder::build)
+/// when the requested parameters cannot describe a functioning network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The mesh must have at least 2 nodes in each dimension.
+    MeshTooSmall {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// At least one virtual channel per port is required.
+    NoVirtualChannels,
+    /// Each virtual channel needs at least one buffer slot.
+    NoBufferSlots,
+    /// Packets must carry at least one flit.
+    EmptyPacket,
+    /// The maximum frequency must not be below the minimum frequency.
+    InvalidFrequencyRange {
+        /// Minimum frequency in Hz.
+        min_hz: f64,
+        /// Maximum frequency in Hz.
+        max_hz: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MeshTooSmall { width, height } => {
+                write!(f, "mesh of {width}x{height} is too small, need at least 2x2")
+            }
+            ConfigError::NoVirtualChannels => write!(f, "at least one virtual channel is required"),
+            ConfigError::NoBufferSlots => {
+                write!(f, "each virtual channel needs at least one buffer slot")
+            }
+            ConfigError::EmptyPacket => write!(f, "packets must carry at least one flit"),
+            ConfigError::InvalidFrequencyRange { min_hz, max_hz } => {
+                write!(f, "invalid frequency range: min {min_hz} Hz exceeds max {max_hz} Hz")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::MeshTooSmall { width: 1, height: 5 };
+        let msg = e.to_string();
+        assert!(msg.contains("1x5"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn frequency_range_message_mentions_both_ends() {
+        let e = ConfigError::InvalidFrequencyRange { min_hz: 2.0e9, max_hz: 1.0e9 };
+        let msg = e.to_string();
+        assert!(msg.contains("2000000000"));
+        assert!(msg.contains("1000000000"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Flits, packets and their identifiers.
+//!
+//! Packets are segmented into flits before injection, exactly as in the
+//! reference simulator: a head flit carries the routing information
+//! (source, destination), body flits follow it through the same virtual
+//! channels, and a tail flit releases the resources. A single-flit packet uses
+//! the combined [`FlitKind::HeadTail`] kind.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique identifier of a packet within one simulation run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from a raw index.
+    pub fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// Returns the raw index.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet; carries routing information.
+    Head,
+    /// Intermediate flit of a multi-flit packet.
+    Body,
+    /// Last flit of a multi-flit packet; releases virtual channels.
+    Tail,
+    /// Only flit of a single-flit packet (acts as both head and tail).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a packet (carries the route).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit closes a packet (releases the VC).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control unit travelling through the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Identifier of the packet this flit belongs to.
+    pub packet_id: PacketId,
+    /// Position of the flit within the packet.
+    pub kind: FlitKind,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Zero-based index of the flit within its packet.
+    pub index_in_packet: usize,
+    /// Virtual channel the flit occupies on the link it is currently using.
+    pub vc: usize,
+    /// NoC cycle at which the packet was created by its source.
+    pub creation_cycle: u64,
+    /// Wall-clock time (ps) at which the packet was created by its source.
+    pub creation_time_ps: f64,
+    /// Number of router hops traversed so far (for diagnostics).
+    pub hops: u32,
+}
+
+impl Flit {
+    /// Creates the `index`-th flit (out of `packet_length`) of a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_length` is zero or `index >= packet_length`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        packet_id: PacketId,
+        src: usize,
+        dst: usize,
+        index: usize,
+        packet_length: usize,
+        creation_cycle: u64,
+        creation_time_ps: f64,
+    ) -> Self {
+        assert!(packet_length > 0, "packet length must be positive");
+        assert!(index < packet_length, "flit index out of range");
+        let kind = if packet_length == 1 {
+            FlitKind::HeadTail
+        } else if index == 0 {
+            FlitKind::Head
+        } else if index == packet_length - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        Flit {
+            packet_id,
+            kind,
+            src,
+            dst,
+            index_in_packet: index,
+            vc: 0,
+            creation_cycle,
+            creation_time_ps,
+            hops: 0,
+        }
+    }
+
+    /// Builds every flit of a packet in order.
+    pub fn packet(
+        packet_id: PacketId,
+        src: usize,
+        dst: usize,
+        packet_length: usize,
+        creation_cycle: u64,
+        creation_time_ps: f64,
+    ) -> Vec<Flit> {
+        (0..packet_length)
+            .map(|i| {
+                Flit::new(packet_id, src, dst, i, packet_length, creation_cycle, creation_time_ps)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} flit {} ({:?}) {}->{} vc{}",
+            self.packet_id, self.index_in_packet, self.kind, self.src, self.dst, self.vc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_assigned_by_position() {
+        let flits = Flit::packet(PacketId::new(1), 0, 5, 4, 0, 0.0);
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let flits = Flit::packet(PacketId::new(2), 3, 7, 1, 10, 123.0);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn two_flit_packet_has_head_and_tail() {
+        let flits = Flit::packet(PacketId::new(3), 0, 1, 2, 0, 0.0);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn head_and_tail_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(!FlitKind::Body.is_head());
+        assert!(!FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn creation_metadata_is_preserved() {
+        let f = Flit::new(PacketId::new(9), 2, 4, 0, 3, 42, 777.5);
+        assert_eq!(f.creation_cycle, 42);
+        assert_eq!(f.creation_time_ps, 777.5);
+        assert_eq!(f.src, 2);
+        assert_eq!(f.dst, 4);
+        assert_eq!(f.hops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit index out of range")]
+    fn out_of_range_index_panics() {
+        let _ = Flit::new(PacketId::new(0), 0, 0, 5, 5, 0, 0.0);
+    }
+
+    #[test]
+    fn packet_id_display() {
+        assert_eq!(PacketId::new(17).to_string(), "pkt#17");
+    }
+}

@@ -1,0 +1,94 @@
+//! # noc-sim — cycle-accurate 2D-mesh virtual-channel NoC simulator
+//!
+//! `noc-sim` is the simulation substrate used by the
+//! [`noc-dvfs`](../noc_dvfs/index.html) crate to reproduce the experiments of
+//! *"Rate-based vs Delay-based Control for DVFS in NoC"* (Casu & Giaccone,
+//! DATE 2015). It plays the role that a modified Booksim 2.0 plays in the
+//! paper: an input-queued virtual-channel router mesh with credit-based flow
+//! control, dimension-ordered routing, and — crucially for the paper — a NoC
+//! clock that is **decoupled** from the clock of the injecting nodes so that a
+//! DVFS controller can slow the network down at run time.
+//!
+//! The simulator tracks both *cycles* (network clock ticks) and *wall-clock
+//! time* (picoseconds), because the paper's central observation is that a
+//! latency that is constant in cycles can be wildly non-monotonic in seconds
+//! once the clock is scaled.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, Hertz};
+//!
+//! # fn main() {
+//! let cfg = NetworkConfig::builder()
+//!     .mesh(4, 4)
+//!     .virtual_channels(2)
+//!     .buffer_depth(4)
+//!     .packet_length(5)
+//!     .build()
+//!     .expect("valid configuration");
+//! let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.1, cfg.packet_length());
+//! let mut sim = NocSimulation::new(cfg, Box::new(traffic), 7);
+//! sim.set_noc_frequency(Hertz::from_mhz(500.0));
+//! sim.run_cycles(5_000);
+//! let m = sim.take_window();
+//! assert!(m.packets_ejected > 0);
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | role |
+//! |---|---|
+//! | [`units`] | frequency / time / rate newtypes |
+//! | [`config`] | [`NetworkConfig`] and its builder |
+//! | [`flit`] | flits, packets and their identifiers |
+//! | [`topology`] | 2D mesh geometry and port algebra |
+//! | [`routing`] | dimension-ordered (XY) routing |
+//! | [`buffer`] | per-VC FIFO buffers |
+//! | [`arbiter`] | round-robin arbiters |
+//! | [`allocator`] | separable input-first allocator |
+//! | [`router`] | the VC router pipeline (RC → VA → SA → ST) |
+//! | [`link`] | inter-router flit and credit channels |
+//! | [`traffic`] | synthetic patterns and traffic matrices |
+//! | [`source`] | node-clock-driven packet generation |
+//! | [`sink`] | ejection and per-packet recording |
+//! | [`activity`] | switching-activity counters for power estimation |
+//! | [`stats`] | latency / delay / throughput statistics |
+//! | [`clock`] | dual-clock (node vs NoC) bookkeeping |
+//! | [`sim`] | the [`NocSimulation`] driver |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activity;
+pub mod allocator;
+pub mod arbiter;
+pub mod buffer;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod flit;
+pub mod link;
+pub mod router;
+pub mod routing;
+pub mod sim;
+pub mod sink;
+pub mod source;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+pub mod units;
+
+pub use activity::{NetworkActivity, RouterActivity};
+pub use clock::DualClock;
+pub use config::{NetworkConfig, NetworkConfigBuilder};
+pub use error::ConfigError;
+pub use flit::{Flit, FlitKind, PacketId};
+pub use routing::{RoutingAlgorithm, XyRouting};
+pub use sim::{NocSimulation, WindowMeasurement};
+pub use stats::{PacketRecord, SimStats};
+pub use topology::{Direction, Mesh2d};
+pub use traffic::{MatrixTraffic, SyntheticTraffic, TrafficPattern, TrafficSpec};
+pub use units::{Cycles, FlitsPerCycle, Hertz, Picoseconds};

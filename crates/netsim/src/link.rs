@@ -1,0 +1,107 @@
+//! Inter-router flit channels and credit-return channels.
+//!
+//! A [`DelayChannel`] delivers items a fixed number of NoC cycles after they
+//! were sent. Flit channels carry [`Flit`](crate::Flit)s downstream; credit
+//! channels carry freed-buffer notifications upstream. Because the whole NoC
+//! is a single clock domain (the premise of the paper), both ends of every
+//! channel advance on the same clock and no synchronizer model is needed.
+
+use std::collections::VecDeque;
+
+/// A FIFO channel that delivers items `latency` cycles after injection.
+#[derive(Debug, Clone)]
+pub struct DelayChannel<T> {
+    latency: u64,
+    in_flight: VecDeque<(u64, T)>,
+}
+
+impl<T> DelayChannel<T> {
+    /// Creates a channel with the given delivery latency in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero — a combinational (zero-cycle) link would
+    /// break the simulator's phase ordering.
+    pub fn new(latency: u64) -> Self {
+        assert!(latency > 0, "channel latency must be at least one cycle");
+        DelayChannel { latency, in_flight: VecDeque::new() }
+    }
+
+    /// The configured delivery latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of items currently travelling on the channel.
+    pub fn occupancy(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends an item at cycle `now`; it will become deliverable at
+    /// `now + latency`.
+    pub fn send(&mut self, now: u64, item: T) {
+        self.in_flight.push_back((now + self.latency, item));
+    }
+
+    /// Removes and returns every item whose delivery time has arrived at
+    /// cycle `now`, preserving send order.
+    pub fn deliver(&mut self, now: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some((when, _)) = self.in_flight.front() {
+            if *when <= now {
+                let (_, item) = self.in_flight.pop_front().expect("front exists");
+                out.push(item);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Whether no items are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_arrive_after_latency() {
+        let mut ch = DelayChannel::new(2);
+        ch.send(10, "a");
+        assert!(ch.deliver(10).is_empty());
+        assert!(ch.deliver(11).is_empty());
+        assert_eq!(ch.deliver(12), vec!["a"]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let mut ch = DelayChannel::new(1);
+        ch.send(0, 1);
+        ch.send(0, 2);
+        ch.send(1, 3);
+        assert_eq!(ch.deliver(1), vec![1, 2]);
+        assert_eq!(ch.deliver(2), vec![3]);
+    }
+
+    #[test]
+    fn late_delivery_collects_everything_due() {
+        let mut ch = DelayChannel::new(1);
+        ch.send(0, 'x');
+        ch.send(1, 'y');
+        ch.send(5, 'z');
+        // Skipping ahead to cycle 3 delivers x and y but not z.
+        assert_eq!(ch.deliver(3), vec!['x', 'y']);
+        assert_eq!(ch.occupancy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_rejected() {
+        let _ = DelayChannel::<u32>::new(0);
+    }
+}

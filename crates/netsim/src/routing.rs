@@ -1,0 +1,180 @@
+//! Routing algorithms.
+//!
+//! The paper uses deterministic dimension-ordered (XY) routing on the mesh,
+//! provided here by [`XyRouting`]. The [`RoutingAlgorithm`] trait keeps the
+//! router generic so that other deterministic algorithms (e.g. YX or
+//! table-based routing) can be plugged in for ablation studies.
+
+use crate::topology::{Direction, Mesh2d};
+use std::fmt::Debug;
+
+/// A deterministic routing function: which output port should a packet
+/// residing at `current` take to reach `dst`?
+pub trait RoutingAlgorithm: Debug + Send + Sync {
+    /// Returns the output port to take at router `current` for a packet whose
+    /// destination is `dst`. Returns [`Direction::Local`] when
+    /// `current == dst`.
+    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction;
+
+    /// The number of hops the algorithm takes from `src` to `dst`
+    /// (used by tests and by zero-load latency estimates).
+    fn path_length(&self, mesh: &Mesh2d, src: usize, dst: usize) -> usize {
+        let mut hops = 0;
+        let mut at = src;
+        while at != dst {
+            let dir = self.route(mesh, at, dst);
+            at = mesh.neighbor(at, dir).expect("routing function must not route off the mesh");
+            hops += 1;
+            assert!(hops <= mesh.node_count() * 2, "routing loop detected");
+        }
+        hops
+    }
+}
+
+/// Dimension-ordered routing: correct the X coordinate first, then Y.
+///
+/// XY routing on a mesh is minimal and deadlock-free, which is why it is the
+/// default in Booksim and in the paper.
+///
+/// ```
+/// use noc_sim::{Mesh2d, XyRouting, RoutingAlgorithm, Direction};
+///
+/// let mesh = Mesh2d::new(5, 5);
+/// let routing = XyRouting::new();
+/// // From node 0 (0,0) to node 24 (4,4) the first moves go east.
+/// assert_eq!(routing.route(&mesh, 0, 24), Direction::East);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XyRouting {
+    _private: (),
+}
+
+impl XyRouting {
+    /// Creates the XY routing function.
+    pub fn new() -> Self {
+        XyRouting { _private: () }
+    }
+}
+
+impl RoutingAlgorithm for XyRouting {
+    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction {
+        let (cx, cy) = mesh.coords(current);
+        let (dx, dy) = mesh.coords(dst);
+        if cx < dx {
+            Direction::East
+        } else if cx > dx {
+            Direction::West
+        } else if cy < dy {
+            Direction::South
+        } else if cy > dy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+}
+
+/// Dimension-ordered routing that corrects Y first, then X.
+///
+/// Not used by the paper's experiments, but handy for checking that the
+/// policy-level conclusions do not depend on the routing order (ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YxRouting {
+    _private: (),
+}
+
+impl YxRouting {
+    /// Creates the YX routing function.
+    pub fn new() -> Self {
+        YxRouting { _private: () }
+    }
+}
+
+impl RoutingAlgorithm for YxRouting {
+    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction {
+        let (cx, cy) = mesh.coords(current);
+        let (dx, dy) = mesh.coords(dst);
+        if cy < dy {
+            Direction::South
+        } else if cy > dy {
+            Direction::North
+        } else if cx < dx {
+            Direction::East
+        } else if cx > dx {
+            Direction::West
+        } else {
+            Direction::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_reaches_destination_with_minimal_hops() {
+        let mesh = Mesh2d::new(5, 5);
+        let routing = XyRouting::new();
+        for src in 0..mesh.node_count() {
+            for dst in 0..mesh.node_count() {
+                assert_eq!(routing.path_length(&mesh, src, dst), mesh.hop_distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn yx_reaches_destination_with_minimal_hops() {
+        let mesh = Mesh2d::new(4, 6);
+        let routing = YxRouting::new();
+        for src in 0..mesh.node_count() {
+            for dst in 0..mesh.node_count() {
+                assert_eq!(routing.path_length(&mesh, src, dst), mesh.hop_distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_corrects_x_before_y() {
+        let mesh = Mesh2d::new(5, 5);
+        let routing = XyRouting::new();
+        let src = mesh.node_at(0, 0);
+        let dst = mesh.node_at(3, 3);
+        assert_eq!(routing.route(&mesh, src, dst), Direction::East);
+        let mid = mesh.node_at(3, 0);
+        assert_eq!(routing.route(&mesh, mid, dst), Direction::South);
+    }
+
+    #[test]
+    fn yx_corrects_y_before_x() {
+        let mesh = Mesh2d::new(5, 5);
+        let routing = YxRouting::new();
+        let src = mesh.node_at(0, 0);
+        let dst = mesh.node_at(3, 3);
+        assert_eq!(routing.route(&mesh, src, dst), Direction::South);
+    }
+
+    #[test]
+    fn destination_routes_to_local_port() {
+        let mesh = Mesh2d::new(4, 4);
+        let routing = XyRouting::new();
+        for node in 0..mesh.node_count() {
+            assert_eq!(routing.route(&mesh, node, node), Direction::Local);
+        }
+    }
+
+    #[test]
+    fn xy_route_never_leaves_mesh() {
+        let mesh = Mesh2d::new(8, 8);
+        let routing = XyRouting::new();
+        for src in 0..mesh.node_count() {
+            for dst in 0..mesh.node_count() {
+                if src == dst {
+                    continue;
+                }
+                let dir = routing.route(&mesh, src, dst);
+                assert!(mesh.neighbor(src, dir).is_some(), "route must point at a real neighbor");
+            }
+        }
+    }
+}

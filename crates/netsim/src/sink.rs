@@ -1,0 +1,120 @@
+//! Packet ejection and completion records.
+//!
+//! The sink is where a packet's life ends: when its tail flit leaves the
+//! network through a router's local output port, the sink produces a
+//! [`PacketRecord`] holding both the latency in NoC cycles and the delay in
+//! wall-clock time — the two quantities whose divergence under DVFS is the
+//! central topic of the paper.
+
+use crate::flit::{Flit, PacketId};
+use crate::stats::PacketRecord;
+use std::collections::HashMap;
+
+/// Reassembles packets at their destinations and emits completion records.
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Flits received so far for packets that are not yet complete.
+    in_flight: HashMap<PacketId, usize>,
+    packets_completed: u64,
+    flits_received: u64,
+}
+
+impl Sink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Sink::default()
+    }
+
+    /// Number of packets fully received.
+    pub fn packets_completed(&self) -> u64 {
+        self.packets_completed
+    }
+
+    /// Number of flits received (including those of incomplete packets).
+    pub fn flits_received(&self) -> u64 {
+        self.flits_received
+    }
+
+    /// Number of packets that have started arriving but are not complete.
+    pub fn incomplete_packets(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Accepts an ejected flit. Returns a completion record when the flit was
+    /// the tail of its packet.
+    ///
+    /// `eject_cycle` and `eject_time_ps` are the NoC cycle and wall-clock time
+    /// at which the flit left the network.
+    pub fn accept(&mut self, flit: &Flit, eject_cycle: u64, eject_time_ps: f64) -> Option<PacketRecord> {
+        self.flits_received += 1;
+        let count = self.in_flight.entry(flit.packet_id).or_insert(0);
+        *count += 1;
+        if flit.kind.is_tail() {
+            let flits = self.in_flight.remove(&flit.packet_id).unwrap_or(1);
+            self.packets_completed += 1;
+            Some(PacketRecord {
+                packet_id: flit.packet_id,
+                src: flit.src,
+                dst: flit.dst,
+                flits,
+                latency_cycles: eject_cycle.saturating_sub(flit.creation_cycle),
+                delay_ps: (eject_time_ps - flit.creation_time_ps).max(0.0),
+                hops: flit.hops,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Flit;
+
+    #[test]
+    fn completion_only_on_tail() {
+        let mut sink = Sink::new();
+        let flits = Flit::packet(PacketId::new(1), 0, 5, 3, 100, 1000.0);
+        assert!(sink.accept(&flits[0], 130, 1300.0).is_none());
+        assert!(sink.accept(&flits[1], 131, 1400.0).is_none());
+        let rec = sink.accept(&flits[2], 132, 1500.0).expect("tail completes the packet");
+        assert_eq!(rec.flits, 3);
+        assert_eq!(rec.latency_cycles, 32);
+        assert!((rec.delay_ps - 500.0).abs() < 1e-9);
+        assert_eq!(sink.packets_completed(), 1);
+        assert_eq!(sink.incomplete_packets(), 0);
+    }
+
+    #[test]
+    fn single_flit_packets_complete_immediately() {
+        let mut sink = Sink::new();
+        let flits = Flit::packet(PacketId::new(7), 2, 3, 1, 10, 10.0);
+        let rec = sink.accept(&flits[0], 15, 25.0).unwrap();
+        assert_eq!(rec.flits, 1);
+        assert_eq!(rec.latency_cycles, 5);
+    }
+
+    #[test]
+    fn interleaved_packets_are_tracked_independently() {
+        let mut sink = Sink::new();
+        let a = Flit::packet(PacketId::new(1), 0, 1, 2, 0, 0.0);
+        let b = Flit::packet(PacketId::new(2), 3, 1, 2, 0, 0.0);
+        assert!(sink.accept(&a[0], 10, 0.0).is_none());
+        assert!(sink.accept(&b[0], 11, 0.0).is_none());
+        assert_eq!(sink.incomplete_packets(), 2);
+        assert!(sink.accept(&b[1], 12, 0.0).is_some());
+        assert!(sink.accept(&a[1], 13, 0.0).is_some());
+        assert_eq!(sink.packets_completed(), 2);
+        assert_eq!(sink.flits_received(), 4);
+    }
+
+    #[test]
+    fn delay_never_negative() {
+        let mut sink = Sink::new();
+        let flits = Flit::packet(PacketId::new(1), 0, 1, 1, 100, 5000.0);
+        // Pathological clock input: ejection time before creation time.
+        let rec = sink.accept(&flits[0], 100, 1000.0).unwrap();
+        assert_eq!(rec.delay_ps, 0.0);
+    }
+}

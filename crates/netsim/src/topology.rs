@@ -1,0 +1,270 @@
+//! 2D mesh topology and port algebra.
+//!
+//! Every router has five ports: the four mesh directions plus a local port
+//! that connects to the injecting/ejecting node. The paper's experiments use
+//! 4×4, 5×5 and 8×8 meshes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of ports on a mesh router (North, East, South, West, Local).
+pub const PORT_COUNT: usize = 5;
+
+/// One of the five router ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards decreasing y.
+    North,
+    /// Towards increasing x.
+    East,
+    /// Towards increasing y.
+    South,
+    /// Towards decreasing x.
+    West,
+    /// The local injection/ejection port.
+    Local,
+}
+
+impl Direction {
+    /// All directions, in port-index order.
+    pub const ALL: [Direction; PORT_COUNT] =
+        [Direction::North, Direction::East, Direction::South, Direction::West, Direction::Local];
+
+    /// The port index (0–4) used to address router data structures.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The direction obtained by looking back along this one
+    /// (the port a flit arrives on at the downstream router).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Direction::Local`], which has no opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Local => panic!("the local port has no opposite direction"),
+        }
+    }
+
+    /// Converts a port index back into a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PORT_COUNT`.
+    pub fn from_index(index: usize) -> Direction {
+        Direction::ALL[index]
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `width × height` 2D mesh.
+///
+/// Nodes are numbered row-major: node `id = y * width + x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh2d {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2d {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 (use
+    /// [`NetworkConfig`](crate::NetworkConfig) for validated construction).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "mesh must be at least 2x2");
+        Mesh2d { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Cartesian coordinates `(x, y)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.node_count(), "node index out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// Node index at coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the mesh.
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width && y < self.height, "coordinates out of range");
+        y * self.width + x
+    }
+
+    /// The neighbouring node in direction `dir`, if it exists (meshes have no
+    /// wrap-around links).
+    pub fn neighbor(&self, node: usize, dir: Direction) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        match dir {
+            Direction::North => (y > 0).then(|| self.node_at(x, y - 1)),
+            Direction::South => (y + 1 < self.height).then(|| self.node_at(x, y + 1)),
+            Direction::East => (x + 1 < self.width).then(|| self.node_at(x + 1, y)),
+            Direction::West => (x > 0).then(|| self.node_at(x - 1, y)),
+            Direction::Local => None,
+        }
+    }
+
+    /// Minimal hop distance between two nodes (Manhattan distance).
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Iterates over every directed inter-router link as
+    /// `(from_node, direction, to_node)`.
+    pub fn links(&self) -> Vec<(usize, Direction, usize)> {
+        let mut out = Vec::new();
+        for node in 0..self.node_count() {
+            for dir in
+                [Direction::North, Direction::East, Direction::South, Direction::West].iter()
+            {
+                if let Some(n) = self.neighbor(node, *dir) {
+                    out.push((node, *dir, n));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mesh2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} mesh", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_round_trip() {
+        let m = Mesh2d::new(5, 4);
+        for node in 0..m.node_count() {
+            let (x, y) = m.coords(node);
+            assert_eq!(m.node_at(x, y), node);
+        }
+    }
+
+    #[test]
+    fn corner_neighbors() {
+        let m = Mesh2d::new(3, 3);
+        // Node 0 is the top-left corner (x=0, y=0).
+        assert_eq!(m.neighbor(0, Direction::North), None);
+        assert_eq!(m.neighbor(0, Direction::West), None);
+        assert_eq!(m.neighbor(0, Direction::East), Some(1));
+        assert_eq!(m.neighbor(0, Direction::South), Some(3));
+        // Node 8 is the bottom-right corner.
+        assert_eq!(m.neighbor(8, Direction::South), None);
+        assert_eq!(m.neighbor(8, Direction::East), None);
+        assert_eq!(m.neighbor(8, Direction::North), Some(5));
+        assert_eq!(m.neighbor(8, Direction::West), Some(7));
+    }
+
+    #[test]
+    fn local_port_has_no_neighbor() {
+        let m = Mesh2d::new(4, 4);
+        for node in 0..m.node_count() {
+            assert_eq!(m.neighbor(node, Direction::Local), None);
+        }
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        let m = Mesh2d::new(5, 5);
+        assert_eq!(m.hop_distance(0, 24), 8);
+        assert_eq!(m.hop_distance(12, 12), 0);
+        assert_eq!(m.hop_distance(0, 4), 4);
+        assert_eq!(m.hop_distance(m.node_at(1, 1), m.node_at(3, 4)), 5);
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        // A k x k mesh has 2*k*(k-1) bidirectional links = 4*k*(k-1) directed.
+        let m = Mesh2d::new(5, 5);
+        assert_eq!(m.links().len(), 4 * 5 * 4);
+        let m = Mesh2d::new(4, 4);
+        assert_eq!(m.links().len(), 4 * 4 * 3);
+    }
+
+    #[test]
+    fn opposite_directions_pair_up() {
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::South.opposite(), Direction::North);
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::West.opposite(), Direction::East);
+    }
+
+    #[test]
+    #[should_panic(expected = "no opposite")]
+    fn local_opposite_panics() {
+        let _ = Direction::Local.opposite();
+    }
+
+    #[test]
+    fn direction_index_round_trip() {
+        for dir in Direction::ALL {
+            assert_eq!(Direction::from_index(dir.index()), dir);
+        }
+    }
+
+    #[test]
+    fn links_connect_adjacent_nodes_only() {
+        let m = Mesh2d::new(4, 3);
+        for (from, _dir, to) in m.links() {
+            assert_eq!(m.hop_distance(from, to), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_mesh_panics() {
+        let _ = Mesh2d::new(1, 8);
+    }
+}

@@ -1,0 +1,414 @@
+//! Traffic generation: synthetic patterns and custom traffic matrices.
+//!
+//! The paper evaluates the DVFS policies on five synthetic patterns
+//! (uniform, tornado, bit-complement, transpose, neighbor) and on two
+//! multimedia applications described by traffic matrices; both kinds are
+//! provided here behind the [`TrafficSpec`] trait.
+
+use crate::topology::Mesh2d;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt::Debug;
+
+/// The synthetic traffic patterns used in Sec. V of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Each packet goes to a destination chosen uniformly at random
+    /// (excluding the source itself).
+    Uniform,
+    /// Each node `(x, y)` sends to `((x + ⌈k/2⌉ − 1) mod k, y)`: adversarial
+    /// for ring-like dimensions.
+    Tornado,
+    /// Node `(x, y)` sends to `(k−1−x, k−1−y)` (bit-complement on the mesh
+    /// coordinates).
+    BitComplement,
+    /// Node `(x, y)` sends to `(y, x)`; requires a square mesh.
+    Transpose,
+    /// Node `(x, y)` sends to `((x+1) mod k, y)`: nearest-neighbor traffic.
+    Neighbor,
+}
+
+impl TrafficPattern {
+    /// All deterministic and random patterns evaluated in the paper.
+    pub const ALL: [TrafficPattern; 5] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::Tornado,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Transpose,
+        TrafficPattern::Neighbor,
+    ];
+
+    /// A short lowercase name (matches the labels used in the paper figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::BitComplement => "bitcomp",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::Neighbor => "neighbor",
+        }
+    }
+
+    /// Destination node for a packet generated at `src`.
+    ///
+    /// Returns `None` when the pattern maps the source onto itself (such
+    /// nodes simply do not inject, as in the reference simulator).
+    pub fn destination(self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
+        let (x, y) = mesh.coords(src);
+        let w = mesh.width();
+        let h = mesh.height();
+        let dst = match self {
+            TrafficPattern::Uniform => {
+                let n = mesh.node_count();
+                if n <= 1 {
+                    return None;
+                }
+                // Rejection-free uniform choice excluding the source.
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            TrafficPattern::Tornado => {
+                let dx = (x + w.div_ceil(2) - 1) % w;
+                let dy = (y + h.div_ceil(2) - 1) % h;
+                mesh.node_at(dx, dy)
+            }
+            TrafficPattern::BitComplement => mesh.node_at(w - 1 - x, h - 1 - y),
+            TrafficPattern::Transpose => {
+                if x < h && y < w {
+                    mesh.node_at(y, x)
+                } else {
+                    return None;
+                }
+            }
+            TrafficPattern::Neighbor => mesh.node_at((x + 1) % w, y),
+        };
+        if dst == src {
+            None
+        } else {
+            Some(dst)
+        }
+    }
+}
+
+/// A source of traffic: decides, once per node-clock cycle and per node,
+/// whether to generate a packet and where it should go.
+pub trait TrafficSpec: Debug + Send {
+    /// Number of flits in every generated packet.
+    fn packet_length(&self) -> usize;
+
+    /// Average offered load in flits per node-clock cycle per node
+    /// (used for reporting and by rate-based controllers in open-loop tests).
+    fn offered_load(&self) -> f64;
+
+    /// Possibly generates a packet at `src` for this node-clock cycle.
+    ///
+    /// Returns the destination node if a packet is generated.
+    fn maybe_generate(&mut self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize>;
+}
+
+/// Bernoulli packet injection following one of the synthetic
+/// [`TrafficPattern`]s.
+///
+/// With injection rate `λ_node` (flits per node cycle) and packets of `S`
+/// flits, a packet is generated with probability `λ_node / S` per node cycle,
+/// which yields an average flit rate of `λ_node`.
+#[derive(Debug, Clone)]
+pub struct SyntheticTraffic {
+    pattern: TrafficPattern,
+    injection_rate: f64,
+    packet_length: usize,
+}
+
+impl SyntheticTraffic {
+    /// Creates a synthetic source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `injection_rate` is negative/not finite or `packet_length`
+    /// is zero.
+    pub fn new(pattern: TrafficPattern, injection_rate: f64, packet_length: usize) -> Self {
+        assert!(injection_rate.is_finite() && injection_rate >= 0.0);
+        assert!(packet_length > 0);
+        SyntheticTraffic { pattern, injection_rate, packet_length }
+    }
+
+    /// The pattern followed by this source.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// The configured injection rate in flits per node cycle.
+    pub fn injection_rate(&self) -> f64 {
+        self.injection_rate
+    }
+}
+
+impl TrafficSpec for SyntheticTraffic {
+    fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.injection_rate
+    }
+
+    fn maybe_generate(&mut self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
+        let p = (self.injection_rate / self.packet_length as f64).min(1.0);
+        if rng.gen_bool(p) {
+            self.pattern.destination(src, mesh, rng)
+        } else {
+            None
+        }
+    }
+}
+
+/// Traffic described by a full source→destination rate matrix, used for the
+/// multimedia applications of Sec. VI.
+///
+/// `rates[src][dst]` is the average number of flits per node-clock cycle that
+/// `src` sends to `dst`.
+#[derive(Debug, Clone)]
+pub struct MatrixTraffic {
+    rates: Vec<Vec<f64>>,
+    row_totals: Vec<f64>,
+    packet_length: usize,
+}
+
+impl MatrixTraffic {
+    /// Creates a matrix source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square-by-row (every row must have the
+    /// same length as the number of rows), any rate is negative or not
+    /// finite, or `packet_length` is zero.
+    pub fn new(rates: Vec<Vec<f64>>, packet_length: usize) -> Self {
+        assert!(packet_length > 0, "packet length must be positive");
+        let n = rates.len();
+        for row in &rates {
+            assert_eq!(row.len(), n, "traffic matrix must be square");
+            for &r in row {
+                assert!(r.is_finite() && r >= 0.0, "rates must be non-negative and finite");
+            }
+        }
+        let row_totals = rates.iter().map(|row| row.iter().sum()).collect();
+        MatrixTraffic { rates, row_totals, packet_length }
+    }
+
+    /// Number of nodes covered by the matrix.
+    pub fn node_count(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The rate from `src` to `dst` in flits per node cycle.
+    pub fn rate(&self, src: usize, dst: usize) -> f64 {
+        self.rates[src][dst]
+    }
+
+    /// Total flits per node cycle injected by `src`.
+    pub fn row_total(&self, src: usize) -> f64 {
+        self.row_totals[src]
+    }
+
+    /// Returns a copy of this matrix with every rate multiplied by `factor`
+    /// (used to sweep the application speed).
+    pub fn scaled(&self, factor: f64) -> MatrixTraffic {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        let rates = self
+            .rates
+            .iter()
+            .map(|row| row.iter().map(|r| r * factor).collect())
+            .collect();
+        MatrixTraffic::new(rates, self.packet_length)
+    }
+}
+
+impl TrafficSpec for MatrixTraffic {
+    fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+
+    fn offered_load(&self) -> f64 {
+        if self.rates.is_empty() {
+            return 0.0;
+        }
+        self.row_totals.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    fn maybe_generate(&mut self, src: usize, _mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
+        if src >= self.rates.len() {
+            return None;
+        }
+        let total = self.row_totals[src];
+        if total <= 0.0 {
+            return None;
+        }
+        let p = (total / self.packet_length as f64).min(1.0);
+        if !rng.gen_bool(p) {
+            return None;
+        }
+        // Choose the destination proportionally to its rate.
+        let mut pick = rng.gen_range(0.0..total);
+        for (dst, &r) in self.rates[src].iter().enumerate() {
+            if r <= 0.0 {
+                continue;
+            }
+            if pick < r {
+                return if dst == src { None } else { Some(dst) };
+            }
+            pick -= r;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_never_sends_to_self_and_covers_all_nodes() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut r = rng();
+        let mut seen = vec![false; 16];
+        for _ in 0..2000 {
+            let dst = TrafficPattern::Uniform.destination(5, &mesh, &mut r).unwrap();
+            assert_ne!(dst, 5);
+            seen[dst] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn tornado_is_deterministic_and_wraps() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut r = rng();
+        // k = 4 => shift = k/2 - 1 = 1 in both dimensions.
+        let dst = TrafficPattern::Tornado.destination(mesh.node_at(0, 0), &mesh, &mut r).unwrap();
+        assert_eq!(dst, mesh.node_at(1, 1));
+        let dst = TrafficPattern::Tornado.destination(mesh.node_at(3, 3), &mesh, &mut r).unwrap();
+        assert_eq!(dst, mesh.node_at(0, 0));
+    }
+
+    #[test]
+    fn bit_complement_mirrors_coordinates() {
+        let mesh = Mesh2d::new(5, 5);
+        let mut r = rng();
+        let dst = TrafficPattern::BitComplement
+            .destination(mesh.node_at(0, 0), &mesh, &mut r)
+            .unwrap();
+        assert_eq!(dst, mesh.node_at(4, 4));
+        // The centre of an odd mesh maps onto itself and therefore does not inject.
+        assert_eq!(
+            TrafficPattern::BitComplement.destination(mesh.node_at(2, 2), &mesh, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mesh = Mesh2d::new(5, 5);
+        let mut r = rng();
+        let dst =
+            TrafficPattern::Transpose.destination(mesh.node_at(1, 3), &mesh, &mut r).unwrap();
+        assert_eq!(dst, mesh.node_at(3, 1));
+        assert_eq!(TrafficPattern::Transpose.destination(mesh.node_at(2, 2), &mesh, &mut r), None);
+    }
+
+    #[test]
+    fn neighbor_sends_one_hop_east_with_wraparound() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut r = rng();
+        let dst = TrafficPattern::Neighbor.destination(mesh.node_at(3, 2), &mesh, &mut r).unwrap();
+        assert_eq!(dst, mesh.node_at(0, 2));
+    }
+
+    #[test]
+    fn synthetic_rate_matches_configuration() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.3, 5);
+        let mut r = rng();
+        let trials = 200_000;
+        let mut packets = 0;
+        for _ in 0..trials {
+            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+                packets += 1;
+            }
+        }
+        let measured_flit_rate = packets as f64 * 5.0 / trials as f64;
+        assert!(
+            (measured_flit_rate - 0.3).abs() < 0.01,
+            "measured {measured_flit_rate}, expected 0.3"
+        );
+    }
+
+    #[test]
+    fn pattern_names_are_stable() {
+        assert_eq!(TrafficPattern::Uniform.name(), "uniform");
+        assert_eq!(TrafficPattern::BitComplement.name(), "bitcomp");
+        assert_eq!(TrafficPattern::ALL.len(), 5);
+    }
+
+    #[test]
+    fn matrix_traffic_respects_row_rates() {
+        // Node 0 sends twice as much to node 2 as to node 1.
+        let rates = vec![
+            vec![0.0, 0.1, 0.2, 0.0],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            vec![0.0; 4],
+        ];
+        let mut traffic = MatrixTraffic::new(rates, 2);
+        let mesh = Mesh2d::new(2, 2);
+        let mut r = rng();
+        let mut to1 = 0;
+        let mut to2 = 0;
+        for _ in 0..100_000 {
+            match traffic.maybe_generate(0, &mesh, &mut r) {
+                Some(1) => to1 += 1,
+                Some(2) => to2 += 1,
+                Some(other) => panic!("unexpected destination {other}"),
+                None => {}
+            }
+        }
+        let ratio = to2 as f64 / to1 as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "destination mix should follow the rates, got {ratio}");
+        // Node 1 never sends.
+        for _ in 0..1000 {
+            assert_eq!(traffic.maybe_generate(1, &mesh, &mut r), None);
+        }
+    }
+
+    #[test]
+    fn matrix_scaling_multiplies_offered_load() {
+        let rates = vec![vec![0.0, 0.1], vec![0.1, 0.0]];
+        let m = MatrixTraffic::new(rates, 4);
+        let m2 = m.scaled(2.0);
+        assert!((m2.offered_load() - 2.0 * m.offered_load()).abs() < 1e-12);
+        assert!((m2.rate(0, 1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn matrix_must_be_square() {
+        let _ = MatrixTraffic::new(vec![vec![0.0, 0.1], vec![0.0]], 4);
+    }
+
+    #[test]
+    fn offered_load_averages_rows() {
+        let rates = vec![vec![0.0, 0.4], vec![0.0, 0.0]];
+        let m = MatrixTraffic::new(rates, 4);
+        assert!((m.offered_load() - 0.2).abs() < 1e-12);
+        assert!((m.row_total(0) - 0.4).abs() < 1e-12);
+        assert_eq!(m.node_count(), 2);
+    }
+}

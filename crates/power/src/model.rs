@@ -1,0 +1,370 @@
+//! Activity-driven router/link power model.
+//!
+//! The model mirrors what the paper obtains from gate-level power estimation
+//! driven by Booksim activity traces:
+//!
+//! * every switching event recorded by the simulator (buffer write/read,
+//!   crossbar traversal, allocation, link traversal, ejection) costs a fixed
+//!   energy at the nominal corner, scaled by `(Vdd/V₀)²` when the voltage is
+//!   lowered;
+//! * the clock tree burns dynamic power proportional to `f · Vdd²` whether or
+//!   not flits are moving (this is what makes DVFS worthwhile at low load);
+//! * leakage scales super-linearly with the supply voltage (`(Vdd/V₀)³`),
+//!   which is characteristic of FDSOI bodies at low voltage.
+//!
+//! The default constants are calibrated so that the paper-baseline 5×5 mesh
+//! reproduces the absolute range of Fig. 6 (≈60 mW idle → ≈230 mW at a 0.4
+//! injection rate, no DVFS); see `DESIGN.md` for the derivation.
+
+use crate::report::PowerReport;
+use crate::tech::Volts;
+use noc_sim::{Hertz, NetworkActivity, RouterActivity};
+use serde::{Deserialize, Serialize};
+
+/// Energy-per-event and static-power constants at the nominal corner
+/// (1 GHz, 0.90 V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Energy of one flit write into an input buffer, picojoules.
+    pub buffer_write_pj: f64,
+    /// Energy of one flit read from an input buffer, picojoules.
+    pub buffer_read_pj: f64,
+    /// Energy of one flit crossing the crossbar, picojoules.
+    pub crossbar_pj: f64,
+    /// Energy of one virtual-channel allocation (per packet), picojoules.
+    pub vc_alloc_pj: f64,
+    /// Energy of one switch-allocation grant (per flit), picojoules.
+    pub sw_alloc_pj: f64,
+    /// Energy of one flit traversing an inter-router link, picojoules.
+    pub link_pj: f64,
+    /// Energy of one flit delivered to the local node, picojoules.
+    pub eject_pj: f64,
+    /// Clock-tree (plus idle pipeline) power of one router at the nominal
+    /// corner, milliwatts.
+    pub clock_tree_mw: f64,
+    /// Leakage power of one router (and its link drivers) at the nominal
+    /// voltage, milliwatts.
+    pub leakage_mw: f64,
+    /// Nominal supply voltage the energies are referenced to, volts.
+    pub nominal_vdd: f64,
+    /// Nominal clock frequency the clock-tree power is referenced to, hertz.
+    pub nominal_frequency_hz: f64,
+    /// Exponent of the leakage-vs-voltage dependence.
+    pub leakage_voltage_exponent: f64,
+}
+
+impl PowerParams {
+    /// The calibration used throughout the reproduction (see module docs).
+    pub fn calibrated_28nm() -> Self {
+        PowerParams {
+            buffer_write_pj: 1.1,
+            buffer_read_pj: 0.9,
+            crossbar_pj: 1.2,
+            vc_alloc_pj: 0.5,
+            sw_alloc_pj: 0.15,
+            link_pj: 0.9,
+            eject_pj: 0.4,
+            clock_tree_mw: 1.8,
+            leakage_mw: 0.6,
+            nominal_vdd: 0.90,
+            nominal_frequency_hz: 1.0e9,
+            leakage_voltage_exponent: 3.0,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::calibrated_28nm()
+    }
+}
+
+/// Energy consumed over one observation interval, split into dynamic and
+/// static components (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Switching + clock-tree energy, picojoules.
+    pub dynamic_pj: f64,
+    /// Leakage energy, picojoules.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.static_pj
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic_pj: self.dynamic_pj + rhs.dynamic_pj,
+            static_pj: self.static_pj + rhs.static_pj,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Converts simulated switching activity into energy and power at a given
+/// `(frequency, Vdd)` operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterPowerModel {
+    params: PowerParams,
+}
+
+impl RouterPowerModel {
+    /// Creates the model with the calibrated 28-nm constants.
+    pub fn new() -> Self {
+        RouterPowerModel { params: PowerParams::calibrated_28nm() }
+    }
+
+    /// Creates the model with caller-provided constants (for ablations).
+    pub fn with_params(params: PowerParams) -> Self {
+        RouterPowerModel { params }
+    }
+
+    /// The constants in use.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Energy consumed by one router over an interval of `duration_ps`
+    /// picoseconds during which it ran at (`frequency`, `vdd`) and produced
+    /// `activity`.
+    pub fn router_energy(
+        &self,
+        activity: &RouterActivity,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> EnergyBreakdown {
+        assert!(duration_ps >= 0.0 && duration_ps.is_finite(), "interval must be non-negative");
+        let p = &self.params;
+        let v_ratio = vdd.as_volts() / p.nominal_vdd;
+        let v2 = v_ratio * v_ratio;
+        let duration_ns = duration_ps / 1.0e3;
+
+        let event_pj = activity.buffer_writes as f64 * p.buffer_write_pj
+            + activity.buffer_reads as f64 * p.buffer_read_pj
+            + activity.crossbar_traversals as f64 * p.crossbar_pj
+            + activity.vc_allocations as f64 * p.vc_alloc_pj
+            + activity.switch_allocations as f64 * p.sw_alloc_pj
+            + activity.link_flits as f64 * p.link_pj
+            + activity.ejected_flits as f64 * p.eject_pj;
+
+        // Clock-tree power scales with f·V²; expressed as energy over the
+        // interval (mW · ns = pJ).
+        let f_ratio = frequency.as_hz() / p.nominal_frequency_hz;
+        let clock_pj = p.clock_tree_mw * f_ratio * v2 * duration_ns;
+
+        let leak_pj =
+            p.leakage_mw * v_ratio.powf(p.leakage_voltage_exponent) * duration_ns;
+
+        EnergyBreakdown { dynamic_pj: event_pj * v2 + clock_pj, static_pj: leak_pj }
+    }
+
+    /// Average power (milliwatts) of one router over the interval.
+    pub fn router_power_mw(
+        &self,
+        activity: &RouterActivity,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> f64 {
+        assert!(duration_ps > 0.0, "power needs a positive interval");
+        self.router_energy(activity, frequency, vdd, duration_ps).total_pj() / (duration_ps / 1.0e3)
+    }
+
+    /// Energy consumed by the whole NoC over an interval.
+    pub fn network_energy(
+        &self,
+        activity: &NetworkActivity,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> EnergyBreakdown {
+        activity
+            .routers
+            .iter()
+            .map(|r| self.router_energy(r, frequency, vdd, duration_ps))
+            .fold(EnergyBreakdown::default(), |acc, e| acc + e)
+    }
+
+    /// Average power of the whole NoC over an interval, with a per-router
+    /// breakdown.
+    pub fn network_power(
+        &self,
+        activity: &NetworkActivity,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> PowerReport {
+        assert!(duration_ps > 0.0, "power needs a positive interval");
+        let duration_ns = duration_ps / 1.0e3;
+        let mut report = PowerReport::new();
+        for router in &activity.routers {
+            let e = self.router_energy(router, frequency, vdd, duration_ps);
+            report.per_router_mw.push(e.total_pj() / duration_ns);
+            report.dynamic_mw += e.dynamic_pj / duration_ns;
+            report.static_mw += e.static_pj / duration_ns;
+        }
+        report
+    }
+}
+
+impl Default for RouterPowerModel {
+    fn default() -> Self {
+        RouterPowerModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::FdsoiTech;
+
+    fn busy_activity(cycles: u64, flits: u64) -> RouterActivity {
+        RouterActivity {
+            buffer_writes: flits,
+            buffer_reads: flits,
+            crossbar_traversals: flits,
+            vc_allocations: flits / 20,
+            switch_allocations: flits,
+            link_flits: flits,
+            ejected_flits: 0,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn idle_router_consumes_only_clock_and_leakage() {
+        let model = RouterPowerModel::new();
+        let idle = RouterActivity { cycles: 1_000, ..RouterActivity::new() };
+        let p = model.router_power_mw(&idle, Hertz::from_ghz(1.0), Volts::new(0.9), 1.0e6);
+        let expected = model.params().clock_tree_mw + model.params().leakage_mw;
+        assert!((p - expected).abs() < 1e-9, "idle power {p} should equal clock + leakage");
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let model = RouterPowerModel::new();
+        let duration_ps = 1.0e6;
+        let low = model.router_power_mw(
+            &busy_activity(1_000, 100),
+            Hertz::from_ghz(1.0),
+            Volts::new(0.9),
+            duration_ps,
+        );
+        let high = model.router_power_mw(
+            &busy_activity(1_000, 1_000),
+            Hertz::from_ghz(1.0),
+            Volts::new(0.9),
+            duration_ps,
+        );
+        assert!(high > low);
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_for_dynamic_energy() {
+        let model = RouterPowerModel::new();
+        let act = busy_activity(1_000, 1_000);
+        let e_nom = model.router_energy(&act, Hertz::from_ghz(1.0), Volts::new(0.9), 1.0e6);
+        let e_low = model.router_energy(&act, Hertz::from_ghz(1.0), Volts::new(0.45), 1.0e6);
+        // Event energy at half the voltage is a quarter; the clock term also
+        // scales by V² (frequency held constant here).
+        assert!((e_low.dynamic_pj / e_nom.dynamic_pj - 0.25).abs() < 1e-9);
+        // Leakage drops faster than quadratically.
+        assert!(e_low.static_pj / e_nom.static_pj < 0.25);
+    }
+
+    #[test]
+    fn slower_clock_reduces_clock_tree_energy_per_second_but_not_event_energy() {
+        let model = RouterPowerModel::new();
+        let act = busy_activity(1_000, 1_000);
+        // Same activity and same *wall time*, lower frequency and voltage:
+        let op_hi = (Hertz::from_ghz(1.0), Volts::new(0.9));
+        let op_lo = (Hertz::from_mhz(333.0), Volts::new(0.56));
+        let e_hi = model.router_energy(&act, op_hi.0, op_hi.1, 1.0e6);
+        let e_lo = model.router_energy(&act, op_lo.0, op_lo.1, 1.0e6);
+        assert!(
+            e_lo.total_pj() < 0.55 * e_hi.total_pj(),
+            "DVFS should cut energy by more than the voltage ratio alone"
+        );
+    }
+
+    #[test]
+    fn network_power_sums_router_power() {
+        let model = RouterPowerModel::new();
+        let mut net = NetworkActivity::new(4);
+        for r in &mut net.routers {
+            *r = busy_activity(1_000, 500);
+        }
+        let f = Hertz::from_ghz(1.0);
+        let v = Volts::new(0.9);
+        let report = model.network_power(&net, f, v, 1.0e6);
+        let single = model.router_power_mw(&net.routers[0], f, v, 1.0e6);
+        assert_eq!(report.per_router_mw.len(), 4);
+        assert!((report.total_mw() - 4.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_and_power_are_consistent() {
+        let model = RouterPowerModel::new();
+        let act = busy_activity(10_000, 3_000);
+        let duration_ps = 5.0e6;
+        let e = model.router_energy(&act, Hertz::from_mhz(700.0), Volts::new(0.75), duration_ps);
+        let p = model.router_power_mw(&act, Hertz::from_mhz(700.0), Volts::new(0.75), duration_ps);
+        assert!((p - e.total_pj() / (duration_ps / 1.0e3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_mesh_idle_power_lands_near_sixty_milliwatts() {
+        // 25 routers with no traffic at the nominal corner: the calibration
+        // targets the bottom of Fig. 6 (~60 mW).
+        let model = RouterPowerModel::new();
+        let mut net = NetworkActivity::new(25);
+        for r in &mut net.routers {
+            r.cycles = 10_000;
+        }
+        let report =
+            model.network_power(&net, Hertz::from_ghz(1.0), Volts::new(0.9), 10_000.0 * 1_000.0);
+        assert!(
+            report.total_mw() > 40.0 && report.total_mw() < 80.0,
+            "idle 5x5 power {} mW outside the expected band",
+            report.total_mw()
+        );
+    }
+
+    #[test]
+    fn dvfs_at_low_voltage_saves_at_least_2x_on_an_idle_mesh() {
+        let model = RouterPowerModel::new();
+        let tech = FdsoiTech::new();
+        let mut net = NetworkActivity::new(25);
+        for r in &mut net.routers {
+            r.cycles = 10_000;
+        }
+        let hi = model.network_power(&net, Hertz::from_ghz(1.0), Volts::new(0.9), 1.0e7);
+        let f_lo = Hertz::from_mhz(333.0);
+        let lo = model.network_power(&net, f_lo, tech.vdd_for_frequency(f_lo), 1.0e7);
+        assert!(hi.total_mw() / lo.total_mw() > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive interval")]
+    fn zero_interval_power_panics() {
+        let model = RouterPowerModel::new();
+        let _ = model.router_power_mw(
+            &RouterActivity::new(),
+            Hertz::from_ghz(1.0),
+            Volts::new(0.9),
+            0.0,
+        );
+    }
+}

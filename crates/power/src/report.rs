@@ -1,0 +1,66 @@
+//! Power reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Power consumed by the NoC over one observation interval, broken down per
+/// router and into dynamic vs. static components.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Average power of each router (plus its outgoing links), in milliwatts.
+    pub per_router_mw: Vec<f64>,
+    /// Total dynamic (activity + clock tree) power in milliwatts.
+    pub dynamic_mw: f64,
+    /// Total static (leakage) power in milliwatts.
+    pub static_mw: f64,
+}
+
+impl PowerReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        PowerReport::default()
+    }
+
+    /// Total NoC power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.static_mw
+    }
+
+    /// The highest per-router power, useful to locate hotspots.
+    pub fn peak_router_mw(&self) -> f64 {
+        self.per_router_mw.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Average per-router power in milliwatts.
+    pub fn mean_router_mw(&self) -> f64 {
+        if self.per_router_mw.is_empty() {
+            0.0
+        } else {
+            self.per_router_mw.iter().sum::<f64>() / self.per_router_mw.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_dynamic_and_static() {
+        let r = PowerReport {
+            per_router_mw: vec![1.0, 2.0, 3.0],
+            dynamic_mw: 4.0,
+            static_mw: 2.0,
+        };
+        assert_eq!(r.total_mw(), 6.0);
+        assert_eq!(r.peak_router_mw(), 3.0);
+        assert_eq!(r.mean_router_mw(), 2.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = PowerReport::new();
+        assert_eq!(r.total_mw(), 0.0);
+        assert_eq!(r.peak_router_mw(), 0.0);
+        assert_eq!(r.mean_router_mw(), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Synthetic-traffic sweep: regenerate a reduced version of Figs. 2, 4 and 6.
+//!
+//! ```text
+//! cargo run --release --example synthetic_sweep [pattern]
+//! ```
+//!
+//! `pattern` is one of `uniform` (default), `tornado`, `bitcomp`,
+//! `transpose`, `neighbor`. The example sweeps the injection rate from 10 %
+//! to 90 % of the measured saturation rate, runs all three policies at every
+//! point and prints the latency, delay, power and frequency curves — the same
+//! series the paper plots against the injection rate.
+
+use noc_dvfs_repro::dvfs::experiments::{compare_policies_synthetic, ExperimentQuality};
+use noc_dvfs_repro::sim::{NetworkConfig, TrafficPattern};
+use std::env;
+
+fn main() {
+    let pattern_name = env::args().nth(1).unwrap_or_else(|| "uniform".to_string());
+    let pattern = match pattern_name.as_str() {
+        "uniform" => TrafficPattern::Uniform,
+        "tornado" => TrafficPattern::Tornado,
+        "bitcomp" => TrafficPattern::BitComplement,
+        "transpose" => TrafficPattern::Transpose,
+        "neighbor" => TrafficPattern::Neighbor,
+        other => {
+            eprintln!("unknown pattern '{other}'; use uniform|tornado|bitcomp|transpose|neighbor");
+            std::process::exit(1);
+        }
+    };
+
+    let net = NetworkConfig::paper_baseline();
+    let quality = ExperimentQuality::quick();
+    println!("Sweeping {} traffic on the paper-baseline 5x5 mesh…", pattern.name());
+    let comparison = compare_policies_synthetic(pattern.name(), &net, pattern, &quality, None);
+
+    println!(
+        "lambda_max (90% of measured saturation) = {:.3} flits/cycle/node",
+        comparison.lambda_max
+    );
+    println!(
+        "{:>10} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "policy", "rate", "latency (cyc)", "delay (ns)", "power (mW)", "freq (GHz)"
+    );
+    for curve in &comparison.curves {
+        for point in &curve.points {
+            println!(
+                "{:>10} {:>10.3} {:>14.1} {:>12.1} {:>12.1} {:>10.3}",
+                curve.policy,
+                point.load,
+                point.result.avg_latency_cycles,
+                point.result.avg_delay_ns,
+                point.result.power_mw,
+                point.result.avg_frequency_ghz
+            );
+        }
+    }
+
+    // Reproduce the paper's reading of the figures: RMSD is the cheapest in
+    // power but the worst in delay; DMSD sits in between on power while
+    // keeping the delay close to the 150 ns target.
+    if let (Some(rmsd), Some(dmsd)) = (comparison.curve("RMSD"), comparison.curve("DMSD")) {
+        let mid = comparison.lambda_max * 0.5;
+        let r = rmsd.nearest(mid);
+        let d = dmsd.nearest(mid);
+        println!();
+        println!(
+            "At half of lambda_max ({:.3}): RMSD = {:.0} ns / {:.0} mW, DMSD = {:.0} ns / {:.0} mW",
+            mid,
+            r.result.avg_delay_ns,
+            r.result.power_mw,
+            d.result.avg_delay_ns,
+            d.result.power_mw
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration test: the paper's headline claims hold end-to-end.
+//!
+//! Uses a reduced-size mesh and simulation budget so the test stays fast, but
+//! exercises the full stack: traffic generation → cycle-accurate simulation →
+//! DVFS policy → technology/power model → trade-off summary.
+
+use noc_dvfs::experiments::{compare_policies_synthetic, ExperimentQuality};
+use noc_dvfs::{ClosedLoopConfig, TradeOffSummary};
+use noc_sim::{NetworkConfig, TrafficPattern};
+
+fn reduced_quality() -> ExperimentQuality {
+    ExperimentQuality {
+        loop_cfg: ClosedLoopConfig {
+            control_period_cycles: 1_200,
+            warmup_intervals: 3,
+            measure_intervals: 5,
+            max_settle_intervals: 40,
+            settle_tolerance: 0.006,
+        },
+        load_points: 3,
+        saturation_probe_cycles: 5_000,
+        seed: 99,
+    }
+}
+
+fn reduced_net() -> NetworkConfig {
+    NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(4)
+        .buffer_depth(4)
+        .packet_length(10)
+        .build()
+        .expect("valid reduced configuration")
+}
+
+#[test]
+fn dvfs_policies_keep_the_paper_ordering_under_uniform_traffic() {
+    let quality = reduced_quality();
+    let net = reduced_net();
+    // The paper's regime has a *tight* delay target: 150 ns is roughly the
+    // delay of its baseline network at the minimum frequency. The reduced
+    // 4x4 network used here has much lower intrinsic latencies, so the
+    // equivalent tight target is ~70 ns; with the default 150 ns target DMSD
+    // would legitimately slow down below RMSD (the target is too lenient to
+    // exercise the trade-off the paper describes).
+    let saturation = noc_dvfs::find_saturation_rate(
+        &net,
+        TrafficPattern::Uniform,
+        quality.saturation_probe_cycles,
+        quality.seed,
+    );
+    let lambda_max = 0.9 * saturation;
+    let policies = vec![
+        noc_dvfs::PolicyKind::NoDvfs,
+        noc_dvfs::PolicyKind::Rmsd(noc_dvfs::RmsdConfig::with_lambda_max(lambda_max)),
+        noc_dvfs::PolicyKind::Dmsd(noc_dvfs::DmsdConfig::with_target_ns(70.0)),
+    ];
+    let comparison = compare_policies_synthetic(
+        "uniform (reduced)",
+        &net,
+        TrafficPattern::Uniform,
+        &quality,
+        Some(policies),
+    );
+    let no_dvfs = comparison.curve("No-DVFS").expect("baseline curve");
+    let rmsd = comparison.curve("RMSD").expect("rmsd curve");
+    let dmsd = comparison.curve("DMSD").expect("dmsd curve");
+
+    // The mid-load point is where the paper quotes its ratios.
+    let mid = comparison.lambda_max * 0.5;
+    let b = &no_dvfs.nearest(mid).result;
+    let r = &rmsd.nearest(mid).result;
+    let d = &dmsd.nearest(mid).result;
+
+    // Power ordering: RMSD <= DMSD <= No-DVFS.
+    assert!(r.power_mw <= d.power_mw * 1.02, "RMSD must be the most frugal policy");
+    assert!(d.power_mw <= b.power_mw * 1.02, "DMSD must not exceed the no-DVFS power");
+    // Both DVFS policies must save a substantial amount of power at mid load.
+    assert!(
+        b.power_mw / r.power_mw > 1.5,
+        "RMSD should save well over 1.5x at mid load (got {:.2}x)",
+        b.power_mw / r.power_mw
+    );
+    // Delay ordering: No-DVFS <= DMSD <= RMSD.
+    assert!(b.avg_delay_ns <= d.avg_delay_ns * 1.05, "no-DVFS has the lowest delay");
+    assert!(
+        d.avg_delay_ns < r.avg_delay_ns,
+        "DMSD ({:.0} ns) must beat RMSD ({:.0} ns) on delay",
+        d.avg_delay_ns,
+        r.avg_delay_ns
+    );
+
+    // The trade-off summary agrees (and is finite / well-formed).
+    let summary = TradeOffSummary::at_load(mid, no_dvfs, rmsd, dmsd);
+    assert!(summary.power_ratio_nodvfs_over_rmsd.is_finite());
+    assert!(summary.delay_ratio_rmsd_over_dmsd > 1.0);
+}
+
+#[test]
+fn rmsd_delay_in_seconds_is_non_monotonic_but_latency_in_cycles_is_flat() {
+    // The paper's Fig. 2 observation: with RMSD the latency measured in
+    // network cycles stays roughly constant between λ_min and λ_max while the
+    // delay measured in nanoseconds first rises (frequency pinned at F_min)
+    // and then falls (frequency grows faster than the latency).
+    let quality = ExperimentQuality {
+        load_points: 5,
+        ..reduced_quality()
+    };
+    let comparison = compare_policies_synthetic(
+        "uniform (reduced, rmsd shape)",
+        &reduced_net(),
+        TrafficPattern::Uniform,
+        &quality,
+        None,
+    );
+    let rmsd = comparison.curve("RMSD").expect("rmsd curve");
+    let delays = rmsd.delays_ns();
+    let freqs = rmsd.frequencies_ghz();
+
+    // Frequency is non-decreasing with load (Eq. 2 with clipping).
+    for pair in freqs.windows(2) {
+        assert!(pair[1] >= pair[0] - 0.02, "RMSD frequency must not drop as the load grows");
+    }
+    // The delay peak is interior: the maximum delay is higher than the delay
+    // at the two extremes of the sweep (non-monotonic shape).
+    let peak = delays.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        peak > delays[0] * 1.2 && peak > *delays.last().unwrap() * 1.2,
+        "RMSD delay must peak in the interior of the load range: {delays:?}"
+    );
+}
+
+#[test]
+fn dmsd_tracks_its_delay_target_where_reachable() {
+    let quality = reduced_quality();
+    let comparison = compare_policies_synthetic(
+        "uniform (reduced, dmsd target)",
+        &reduced_net(),
+        TrafficPattern::Uniform,
+        &quality,
+        None,
+    );
+    let dmsd = comparison.curve("DMSD").expect("dmsd curve");
+    let no_dvfs = comparison.curve("No-DVFS").expect("baseline curve");
+    for (d, b) in dmsd.points.iter().zip(no_dvfs.points.iter()) {
+        // Wherever even the full-speed network cannot reach 150 ns the target
+        // is unreachable; elsewhere DMSD must land in a band around it
+        // (between the no-DVFS delay and ~1.6x the target).
+        if b.result.avg_delay_ns < 150.0 {
+            assert!(
+                d.result.avg_delay_ns <= 150.0 * 1.6,
+                "DMSD delay {:.0} ns too far above the 150 ns target at load {:.3}",
+                d.result.avg_delay_ns,
+                d.load
+            );
+        }
+    }
+}

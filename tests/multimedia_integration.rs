@@ -1,0 +1,112 @@
+//! Integration test: the multimedia workloads (Sec. VI) run end-to-end.
+
+use noc_apps::{h264_encoder, video_conference_encoder};
+use noc_dvfs::{
+    run_operating_point, ClosedLoopConfig, DmsdConfig, PolicyKind, RmsdConfig,
+};
+use noc_sim::{NetworkConfig, TrafficSpec};
+
+fn loop_cfg() -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        control_period_cycles: 1_200,
+        warmup_intervals: 3,
+        measure_intervals: 5,
+        max_settle_intervals: 40,
+        settle_tolerance: 0.006,
+    }
+}
+
+#[test]
+fn h264_traffic_reaches_every_policy_and_keeps_the_power_ordering() {
+    let app = h264_encoder();
+    let (w, h) = app.mesh_size();
+    let net = NetworkConfig::builder().mesh(w, h).packet_length(10).build().unwrap();
+    let speed = 0.6;
+    let make = || -> Box<dyn TrafficSpec> { Box::new(app.traffic_matrix(speed, 10, 0.3)) };
+
+    let baseline = run_operating_point(&net, make(), PolicyKind::NoDvfs, &loop_cfg(), 3);
+    let rmsd = run_operating_point(
+        &net,
+        make(),
+        PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.08)),
+        &loop_cfg(),
+        3,
+    );
+    let dmsd = run_operating_point(
+        &net,
+        make(),
+        PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0)),
+        &loop_cfg(),
+        3,
+    );
+
+    for p in [&baseline, &rmsd, &dmsd] {
+        assert!(p.packets_delivered > 0, "{} must deliver packets", p.policy);
+        assert!(p.power_mw > 0.0);
+    }
+    assert!(rmsd.power_mw < baseline.power_mw, "RMSD saves power on H.264 traffic");
+    assert!(dmsd.power_mw <= baseline.power_mw * 1.02);
+    assert!(rmsd.avg_delay_ns > baseline.avg_delay_ns, "RMSD pays the power saving in delay");
+}
+
+#[test]
+fn vce_runs_on_its_5x5_mesh_and_scales_with_app_speed() {
+    let app = video_conference_encoder();
+    let (w, h) = app.mesh_size();
+    assert_eq!((w, h), (5, 5));
+    let net = NetworkConfig::builder().mesh(w, h).packet_length(10).build().unwrap();
+    let make = |speed: f64| -> Box<dyn TrafficSpec> {
+        Box::new(app.traffic_matrix(speed, 10, 0.3))
+    };
+
+    let slow = run_operating_point(&net, make(0.2), PolicyKind::NoDvfs, &loop_cfg(), 4);
+    let fast = run_operating_point(&net, make(0.8), PolicyKind::NoDvfs, &loop_cfg(), 4);
+    assert!(
+        fast.power_mw > slow.power_mw,
+        "a faster application must burn more NoC power ({} vs {})",
+        fast.power_mw,
+        slow.power_mw
+    );
+    assert!(fast.throughput > slow.throughput);
+}
+
+#[test]
+fn application_traffic_is_hotspot_shaped_not_uniform() {
+    // The per-router power spread under application traffic must be much
+    // wider than under an equivalent uniform load, because the task mapping
+    // concentrates traffic on a few links. This checks that the matrix
+    // traffic actually reaches the power model with its spatial structure.
+    use noc_power::{FdsoiTech, RouterPowerModel};
+    use noc_sim::{Hertz, NocSimulation};
+
+    let app = h264_encoder();
+    let net = NetworkConfig::builder().mesh(4, 4).packet_length(10).build().unwrap();
+    let traffic = app.traffic_matrix(0.8, 10, 0.3);
+    let mut sim = NocSimulation::new(net, Box::new(traffic), 11);
+    sim.run_cycles(10_000);
+    let activity = sim.take_activity();
+    // Switching activity concentrates on the routers along the video
+    // pipeline: the busiest router sees far more events than the average one.
+    let events: Vec<u64> = activity.routers.iter().map(|r| r.total_events()).collect();
+    let peak_events = *events.iter().max().unwrap();
+    let mean_events = events.iter().sum::<u64>() as f64 / events.len() as f64;
+    assert!(
+        peak_events as f64 > 2.0 * mean_events,
+        "hotspot traffic should load some routers much more than the average \
+         (peak {peak_events} events vs mean {mean_events:.0})"
+    );
+    // The same structure must survive the conversion to power: the hottest
+    // router burns measurably more than the mean even though the static
+    // (clock + leakage) component is spatially uniform.
+    let model = RouterPowerModel::new();
+    let tech = FdsoiTech::new();
+    let f = Hertz::from_ghz(1.0);
+    let report = model.network_power(&activity, f, tech.vdd_for_frequency(f), sim.wall_time().as_ps());
+    assert!(
+        report.peak_router_mw() > 1.2 * report.mean_router_mw(),
+        "per-router power must reflect the hotspot structure \
+         (peak {:.2} mW vs mean {:.2} mW)",
+        report.peak_router_mw(),
+        report.mean_router_mw()
+    );
+}

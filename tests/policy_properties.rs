@@ -1,0 +1,194 @@
+//! Property-based tests of the DVFS policies and the technology/power models
+//! (pure computations — these run thousands of cases cheaply).
+
+use noc_dvfs::{ControlMeasurement, Dmsd, DmsdConfig, DvfsPolicy, PiController, Rmsd, RmsdConfig};
+use noc_power::{FdsoiTech, PowerParams, RouterPowerModel, Volts};
+use noc_sim::{Hertz, NetworkConfig, RouterActivity, WindowMeasurement};
+use proptest::prelude::*;
+
+fn measurement(rate: f64, delay_ns: f64) -> ControlMeasurement {
+    let node_count = 25usize;
+    let node_cycles = 10_000u64;
+    let packets = 200u64;
+    ControlMeasurement {
+        window: WindowMeasurement {
+            noc_cycles: 10_000,
+            node_cycles,
+            wall_time_ps: 1.0e7,
+            flits_generated: (rate * node_count as f64 * node_cycles as f64) as u64,
+            flits_injected: (rate * node_count as f64 * node_cycles as f64) as u64,
+            packets_ejected: packets,
+            flits_ejected: packets * 20,
+            latency_cycles_sum: packets * 60,
+            delay_ps_sum: delay_ns * 1.0e3 * packets as f64,
+        },
+        node_count,
+        current_frequency: Hertz::from_ghz(1.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The RMSD output frequency always stays inside the VCO range and is
+    /// monotone in the measured injection rate.
+    #[test]
+    fn rmsd_output_is_clamped_and_monotone(
+        lambda_max in 0.05f64..0.8,
+        rate_a in 0.0f64..1.0,
+        rate_b in 0.0f64..1.0,
+    ) {
+        let cfg = NetworkConfig::paper_baseline();
+        let mut rmsd = Rmsd::new(&cfg, RmsdConfig::with_lambda_max(lambda_max));
+        let fa = rmsd.next_frequency(&measurement(rate_a, 100.0));
+        rmsd.reset();
+        let fb = rmsd.next_frequency(&measurement(rate_b, 100.0));
+        prop_assert!(fa >= cfg.min_frequency() && fa <= cfg.max_frequency());
+        prop_assert!(fb >= cfg.min_frequency() && fb <= cfg.max_frequency());
+        if rate_a <= rate_b {
+            prop_assert!(fa <= fb);
+        } else {
+            prop_assert!(fa >= fb);
+        }
+    }
+
+    /// The DMSD output frequency always stays inside the VCO range, for any
+    /// sequence of delay measurements.
+    #[test]
+    fn dmsd_output_is_always_inside_the_vco_range(
+        delays in prop::collection::vec(1.0f64..2_000.0, 1..50),
+        target in 20.0f64..500.0,
+    ) {
+        let cfg = NetworkConfig::paper_baseline();
+        let mut dmsd = Dmsd::new(&cfg, DmsdConfig::with_target_ns(target));
+        for d in delays {
+            let f = dmsd.next_frequency(&measurement(0.2, d));
+            prop_assert!(f >= cfg.min_frequency() && f <= cfg.max_frequency());
+        }
+    }
+
+    /// The PI controller's output never escapes its clamp range, whatever the
+    /// error sequence and gains.
+    #[test]
+    fn pi_controller_respects_its_clamp(
+        ki in 0.0f64..1.0,
+        kp in 0.0f64..1.0,
+        errors in prop::collection::vec(-100.0f64..100.0, 1..100),
+    ) {
+        let mut pi = PiController::new(ki, kp, 0.2, 1.0, 1.0);
+        for e in errors {
+            let u = pi.update(e);
+            prop_assert!((0.2..=1.0).contains(&u));
+        }
+    }
+
+    /// The technology model is internally consistent: the voltage chosen for
+    /// a frequency always sustains that frequency, and higher frequencies
+    /// never require lower voltages.
+    #[test]
+    fn tech_model_voltage_choice_is_sufficient_and_monotone(
+        mhz_a in 333.0f64..1_000.0,
+        mhz_b in 333.0f64..1_000.0,
+    ) {
+        let tech = FdsoiTech::new();
+        let fa = Hertz::from_mhz(mhz_a);
+        let fb = Hertz::from_mhz(mhz_b);
+        let va = tech.vdd_for_frequency(fa);
+        let vb = tech.vdd_for_frequency(fb);
+        prop_assert!(tech.max_frequency(va).as_hz() >= fa.as_hz() * 0.999);
+        if mhz_a <= mhz_b {
+            prop_assert!(va.as_volts() <= vb.as_volts() + 1e-9);
+        }
+    }
+
+    /// Power is monotone in voltage and in activity, and never negative.
+    #[test]
+    fn power_model_is_monotone(
+        flits in 0u64..100_000,
+        extra in 1u64..50_000,
+        vdd in 0.56f64..0.9,
+    ) {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let mk = |n: u64| RouterActivity {
+            buffer_writes: n,
+            buffer_reads: n,
+            crossbar_traversals: n,
+            link_flits: n,
+            cycles: 10_000,
+            ..RouterActivity::new()
+        };
+        let duration_ps = 1.0e7;
+        let p_low = model.router_power_mw(&mk(flits), f, Volts::new(vdd), duration_ps);
+        let p_high = model.router_power_mw(&mk(flits + extra), f, Volts::new(vdd), duration_ps);
+        let p_more_volts =
+            model.router_power_mw(&mk(flits), f, Volts::new(0.9), duration_ps);
+        prop_assert!(p_low >= 0.0);
+        prop_assert!(p_high > p_low);
+        prop_assert!(p_more_volts >= p_low - 1e-12);
+    }
+
+    /// Energy scales linearly with how long the window is when the activity
+    /// is scaled alongside (power is intensive, energy is extensive).
+    #[test]
+    fn power_is_intensive_under_window_scaling(
+        flits in 1u64..10_000,
+        scale in 2u64..10,
+    ) {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_mhz(700.0);
+        let v = Volts::new(0.75);
+        let base = RouterActivity {
+            buffer_writes: flits,
+            buffer_reads: flits,
+            crossbar_traversals: flits,
+            link_flits: flits,
+            cycles: 5_000,
+            ..RouterActivity::new()
+        };
+        let scaled = RouterActivity {
+            buffer_writes: flits * scale,
+            buffer_reads: flits * scale,
+            crossbar_traversals: flits * scale,
+            link_flits: flits * scale,
+            cycles: 5_000 * scale,
+            ..RouterActivity::new()
+        };
+        let duration = 5.0e6;
+        let p1 = model.router_power_mw(&base, f, v, duration);
+        let p2 = model.router_power_mw(&scaled, f, v, duration * scale as f64);
+        prop_assert!((p1 - p2).abs() < 1e-9 * p1.max(1.0));
+    }
+
+    /// Custom power parameters are respected: doubling every per-event energy
+    /// doubles the activity-driven part of the power.
+    #[test]
+    fn power_params_scale_event_energy(flits in 1u64..50_000) {
+        let base_params = PowerParams::calibrated_28nm();
+        let mut doubled = base_params;
+        doubled.buffer_write_pj *= 2.0;
+        doubled.buffer_read_pj *= 2.0;
+        doubled.crossbar_pj *= 2.0;
+        doubled.link_pj *= 2.0;
+        doubled.eject_pj *= 2.0;
+        doubled.vc_alloc_pj *= 2.0;
+        doubled.sw_alloc_pj *= 2.0;
+        let act = RouterActivity {
+            buffer_writes: flits,
+            buffer_reads: flits,
+            crossbar_traversals: flits,
+            link_flits: flits,
+            cycles: 10_000,
+            ..RouterActivity::new()
+        };
+        let f = Hertz::from_ghz(1.0);
+        let v = Volts::new(0.9);
+        let duration = 1.0e7;
+        let p_base = RouterPowerModel::with_params(base_params).router_power_mw(&act, f, v, duration);
+        let p_double = RouterPowerModel::with_params(doubled).router_power_mw(&act, f, v, duration);
+        let static_part = base_params.clock_tree_mw + base_params.leakage_mw;
+        let dyn_base = p_base - static_part;
+        let dyn_double = p_double - static_part;
+        prop_assert!((dyn_double - 2.0 * dyn_base).abs() < 1e-6 * dyn_base.max(1.0));
+    }
+}
