@@ -4,6 +4,7 @@
 //! regenerate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
 use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern};
 use std::time::Duration;
 
@@ -23,6 +24,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
             "8x8_mesh_light_load",
             NetworkConfig::builder().mesh(8, 8).build().unwrap(),
             0.05,
+        ),
+        (
+            "8x8_mesh_heavy_load",
+            NetworkConfig::builder().mesh(8, 8).build().unwrap(),
+            0.35,
         ),
     ];
     for (name, cfg, rate) in cases {
@@ -44,5 +50,20 @@ fn bench_sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_throughput);
+/// End-to-end wall-clock time of a quick-quality Fig. 2-style regeneration:
+/// saturation search plus a (policy × load) sweep through the closed loop.
+/// This is the number that bounds experiment turnaround.
+fn bench_figure_regeneration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    group.bench_function("fig2_quick_quality", |b| {
+        b.iter(|| fig2_rmsd_vs_nodvfs(&ExperimentQuality::quick()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_figure_regeneration);
 criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Records the simulator-throughput benchmark suite as a JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p noc-bench --bin bench_record -- [--out BENCH_sim_throughput.json] \
+//!     [--label current] [--merge existing.json] [--repeats 5] [--cycles 2000]
+//! ```
+//!
+//! Each case simulates a fixed number of NoC cycles and reports wall-clock
+//! cycles/second computed from the **best (minimum) time** over `--repeats`
+//! runs — best-of suppresses scheduler noise but is systematically optimistic,
+//! so compare ratios between runs, not absolutes. The figure-regeneration
+//! case times one quick-quality Fig. 2-style sweep end to end. With `--merge`, the previously recorded JSON is kept
+//! under its original labels and the new run is appended, so the artifact
+//! accumulates a perf trajectory across PRs.
+
+use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
+use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct CaseResult {
+    name: String,
+    cycles: u64,
+    secs: f64,
+    cycles_per_sec: f64,
+}
+
+fn time_sim_case(name: &str, cfg: &NetworkConfig, rate: f64, cycles: u64, repeats: usize) -> CaseResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, rate, cfg.packet_length());
+        let mut sim = NocSimulation::new(cfg.clone(), Box::new(traffic), 1);
+        // Warm the allocators/buffers before timing.
+        sim.run_cycles(cycles / 10);
+        let t0 = Instant::now();
+        sim.run_cycles(cycles);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    CaseResult {
+        name: name.to_string(),
+        cycles,
+        secs: best,
+        cycles_per_sec: cycles as f64 / best,
+    }
+}
+
+fn time_figure_regen(repeats: usize) -> CaseResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let cmp = fig2_rmsd_vs_nodvfs(&ExperimentQuality::quick());
+        assert!(!cmp.curves.is_empty());
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    CaseResult {
+        name: "fig2_regeneration_quick".to_string(),
+        cycles: 0,
+        secs: best,
+        cycles_per_sec: 0.0,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_run(label: &str, results: &[CaseResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    \"{}\": {{", json_escape(label));
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      \"{}\": {{\"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}{}",
+            json_escape(&r.name),
+            r.cycles,
+            r.secs,
+            r.cycles_per_sec,
+            comma
+        );
+    }
+    let _ = write!(out, "    }}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_sim_throughput.json".to_string();
+    let mut label = "current".to_string();
+    let mut merge: Option<String> = None;
+    let mut repeats = 5usize;
+    let mut cycles = 2_000u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--label" if i + 1 < args.len() => {
+                label = args[i + 1].clone();
+                i += 2;
+            }
+            "--merge" if i + 1 < args.len() => {
+                merge = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().expect("--repeats takes an integer");
+                i += 2;
+            }
+            "--cycles" if i + 1 < args.len() => {
+                cycles = args[i + 1].parse().expect("--cycles takes an integer");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_record [--out FILE] [--label NAME] [--merge FILE] [--repeats N] [--cycles N]");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cases = [
+        ("5x5_paper_baseline_light_load", NetworkConfig::paper_baseline(), 0.05),
+        ("5x5_paper_baseline_heavy_load", NetworkConfig::paper_baseline(), 0.35),
+        ("8x8_mesh_light_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), 0.05),
+        ("8x8_mesh_heavy_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), 0.35),
+    ];
+
+    let mut results = Vec::new();
+    for (name, cfg, rate) in cases {
+        let r = time_sim_case(name, &cfg, rate, cycles, repeats);
+        eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
+        results.push(r);
+    }
+    let fig = time_figure_regen(repeats.min(3));
+    eprintln!("{:<35} {:>12.4} s wall-clock", fig.name, fig.secs);
+    results.push(fig);
+
+    // Preserve previously recorded runs (e.g. the pre-refactor baseline) by
+    // splicing their top-level entries ahead of the new one.
+    let mut runs: Vec<String> = Vec::new();
+    if let Some(path) = merge {
+        let prior = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read merge file {path}: {e}"));
+        // The artifact is always written by this tool, so the runs live
+        // between the outer "runs": { ... } braces with 4-space indents.
+        if let Some(start) = prior.find("\"runs\": {") {
+            let body = &prior[start + "\"runs\": {".len()..];
+            if let Some(end) = body.rfind("\n  }") {
+                let inner = body[..end].trim_matches('\n');
+                if !inner.trim().is_empty() {
+                    runs.push(inner.to_string());
+                }
+            }
+        }
+    }
+    runs.push(render_run(&label, &results));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"sim_throughput\",");
+    let _ = writeln!(json, "  \"cycles_per_case\": {cycles},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"unit\": \"cycles_per_sec (best of repeats); fig2 case is wall seconds\",");
+    let _ = writeln!(json, "  \"runs\": {{");
+    let _ = writeln!(json, "{}", runs.join(",\n"));
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -333,7 +333,7 @@ pub fn compare_policies_application(
         quality.seed,
     );
     let lambda_max = PAPER_LAMBDA_MAX_MARGIN * estimate.offered_rate.max(1e-6);
-    let max_speed = (PAPER_LAMBDA_MAX_MARGIN * estimate.load).min(1.0).max(0.2);
+    let max_speed = (PAPER_LAMBDA_MAX_MARGIN * estimate.load).clamp(0.2, 1.0);
     let loads = load_grid(0.1 * max_speed, max_speed, quality.load_points);
     let policies = standard_policies(lambda_max);
     let curves =
@@ -361,8 +361,8 @@ mod tests {
         ExperimentQuality {
             loop_cfg: ClosedLoopConfig {
                 control_period_cycles: 800,
-                warmup_intervals: 2,
-                measure_intervals: 3,
+                warmup_intervals: 3,
+                measure_intervals: 8,
                 max_settle_intervals: 20,
                 settle_tolerance: 0.02,
             },

@@ -57,6 +57,7 @@
 pub mod closed_loop;
 pub mod dmsd;
 pub mod experiments;
+pub mod parallel;
 pub mod pi;
 pub mod policy;
 pub mod rmsd;

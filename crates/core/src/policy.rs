@@ -133,7 +133,6 @@ mod tests {
                 flits_ejected: packets * 20,
                 latency_cycles_sum: packets * 50,
                 delay_ps_sum: delay_ns * 1e3 * packets as f64,
-                ..Default::default()
             },
             node_count,
             current_frequency: f,

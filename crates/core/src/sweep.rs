@@ -1,9 +1,22 @@
 //! Load sweeps: run one policy over a list of load levels.
+//!
+//! Every operating point of a sweep is an independent simulation with an
+//! explicit seed, so sweeps are embarrassingly parallel: [`sweep_policies`]
+//! and [`sweep_policy`] flatten the `(policy × load)` grid into one work list
+//! and fan it out over the [`parallel`](crate::parallel) executor. Results
+//! are reassembled in grid order and are **bit-identical** to the serial
+//! variants ([`sweep_policies_serial`]) for the same seeds; set
+//! `NOC_SWEEP_THREADS=1` to force serial execution globally.
 
 use crate::closed_loop::{run_operating_point, ClosedLoopConfig, OperatingPointResult};
+use crate::parallel::par_map;
 use crate::policy::PolicyKind;
 use noc_sim::{NetworkConfig, TrafficSpec};
 use serde::{Deserialize, Serialize};
+
+/// A deterministic `load → workload` closure that can be shared across sweep
+/// worker threads.
+pub type TrafficFactory<'a> = &'a (dyn Fn(f64) -> Box<dyn TrafficSpec> + Sync);
 
 /// One (load, result) pair of a sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +40,10 @@ pub struct PolicyCurve {
 impl PolicyCurve {
     /// The point whose load is closest to `load`.
     ///
+    /// Distances are compared with [`f64::total_cmp`], so `NaN` loads (in the
+    /// query or the curve) cannot cause a panic: `NaN` distances order after
+    /// every finite distance and the nearest finite point wins.
+    ///
     /// # Panics
     ///
     /// Panics if the curve is empty.
@@ -34,9 +51,7 @@ impl PolicyCurve {
         assert!(!self.points.is_empty(), "cannot query an empty curve");
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.load - load).abs().partial_cmp(&(b.load - load).abs()).expect("finite loads")
-            })
+            .min_by(|a, b| (a.load - load).abs().total_cmp(&(b.load - load).abs()))
             .expect("non-empty")
     }
 
@@ -67,11 +82,71 @@ impl PolicyCurve {
 }
 
 /// Runs `policy` at every load in `loads`, building the traffic for each load
-/// with `make_traffic`.
+/// with `make_traffic`. Operating points run in parallel across cores; the
+/// returned curve is bit-identical to a serial run with the same seed.
 pub fn sweep_policy(
     net: &NetworkConfig,
     loads: &[f64],
-    make_traffic: &dyn Fn(f64) -> Box<dyn TrafficSpec>,
+    make_traffic: TrafficFactory<'_>,
+    policy: &PolicyKind,
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> PolicyCurve {
+    let points = par_map(loads, |_, &load| SweepPoint {
+        load,
+        result: run_operating_point(net, make_traffic(load), policy.clone(), loop_cfg, seed),
+    });
+    PolicyCurve { policy: policy.name().to_string(), points }
+}
+
+/// Runs several policies over the same loads (the standard No-DVFS / RMSD /
+/// DMSD comparison of every figure).
+///
+/// The whole `(policy × load)` grid is flattened into one parallel work list,
+/// so all curves of a figure progress simultaneously and a single slow
+/// operating point cannot serialize an entire policy. Per-point seeding is
+/// unchanged from the serial path, making the output bit-identical to
+/// [`sweep_policies_serial`].
+pub fn sweep_policies(
+    net: &NetworkConfig,
+    loads: &[f64],
+    make_traffic: TrafficFactory<'_>,
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<PolicyCurve> {
+    let grid: Vec<(usize, f64)> = policies
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| loads.iter().map(move |&load| (pi, load)))
+        .collect();
+    let mut results = par_map(&grid, |_, &(pi, load)| SweepPoint {
+        load,
+        result: run_operating_point(
+            net,
+            make_traffic(load),
+            policies[pi].clone(),
+            loop_cfg,
+            seed,
+        ),
+    })
+    .into_iter();
+    policies
+        .iter()
+        .map(|p| PolicyCurve {
+            policy: p.name().to_string(),
+            points: results.by_ref().take(loads.len()).collect(),
+        })
+        .collect()
+}
+
+/// Serial reference implementation of [`sweep_policy`] — used by the parity
+/// tests and available for debugging (`NOC_SWEEP_THREADS=1` achieves the
+/// same through the parallel path).
+pub fn sweep_policy_serial(
+    net: &NetworkConfig,
+    loads: &[f64],
+    make_traffic: TrafficFactory<'_>,
     policy: &PolicyKind,
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
@@ -86,19 +161,18 @@ pub fn sweep_policy(
     PolicyCurve { policy: policy.name().to_string(), points }
 }
 
-/// Runs several policies over the same loads (the standard No-DVFS / RMSD /
-/// DMSD comparison of every figure).
-pub fn sweep_policies(
+/// Serial reference implementation of [`sweep_policies`].
+pub fn sweep_policies_serial(
     net: &NetworkConfig,
     loads: &[f64],
-    make_traffic: &dyn Fn(f64) -> Box<dyn TrafficSpec>,
+    make_traffic: TrafficFactory<'_>,
     policies: &[PolicyKind],
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
     policies
         .iter()
-        .map(|p| sweep_policy(net, loads, make_traffic, p, loop_cfg, seed))
+        .map(|p| sweep_policy_serial(net, loads, make_traffic, p, loop_cfg, seed))
         .collect()
 }
 
@@ -181,6 +255,39 @@ mod tests {
         assert_eq!(curve.nearest(0.11).load, 0.10);
         assert_eq!(curve.nearest(0.0).load, 0.05);
         assert_eq!(curve.nearest(9.0).load, 0.20);
+    }
+
+    #[test]
+    fn nearest_is_total_and_never_panics_on_nan() {
+        // Hand-built curve: no simulation needed to exercise the ordering.
+        let point = |load: f64| SweepPoint {
+            load,
+            result: OperatingPointResult {
+                policy: "No-DVFS".to_string(),
+                offered_load: load,
+                measured_rate: load,
+                avg_latency_cycles: 0.0,
+                avg_delay_ns: 0.0,
+                max_delay_ns: 0.0,
+                power_mw: 0.0,
+                dynamic_power_mw: 0.0,
+                static_power_mw: 0.0,
+                avg_frequency_ghz: 1.0,
+                avg_vdd: 0.9,
+                throughput: load,
+                packets_delivered: 1,
+                measurement_wall_ns: 1.0,
+            },
+        };
+        let curve = PolicyCurve {
+            policy: "No-DVFS".to_string(),
+            points: vec![point(0.1), point(f64::NAN), point(0.3)],
+        };
+        // A NaN query must not panic; NaN distances order after finite ones,
+        // so the nearest finite point wins when one exists.
+        let _ = curve.nearest(f64::NAN);
+        assert_eq!(curve.nearest(0.29).load, 0.3);
+        assert_eq!(curve.nearest(0.11).load, 0.1);
     }
 
     #[test]

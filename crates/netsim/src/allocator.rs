@@ -33,6 +33,11 @@ pub struct AllocGrant {
 }
 
 /// Separable input-first allocator with round-robin arbiters.
+///
+/// The allocator owns persistent scratch buffers (`stage1`, `grants`) that
+/// are reused across allocation rounds, so steady-state allocation performs
+/// no heap allocation; [`allocate`](Self::allocate) returns a slice into the
+/// internal grant buffer that stays valid until the next round.
 #[derive(Debug, Clone)]
 pub struct SeparableAllocator {
     groups: usize,
@@ -40,6 +45,15 @@ pub struct SeparableAllocator {
     resources: usize,
     input_arbiters: Vec<RoundRobinArbiter>,
     output_arbiters: Vec<RoundRobinArbiter>,
+    /// Scratch: stage-1 winner (member, resource) per group; cleared per round.
+    stage1: Vec<Option<(usize, usize)>>,
+    /// Scratch: requesting-member bitmask per group; cleared per round.
+    member_masks: Vec<u64>,
+    /// Scratch: resource requested by (group, member), flat-indexed; only
+    /// entries whose `member_masks` bit is set are meaningful.
+    resource_of: Vec<usize>,
+    /// Scratch: grants of the current round (returned by reference).
+    grants: Vec<AllocGrant>,
 }
 
 impl SeparableAllocator {
@@ -57,6 +71,10 @@ impl SeparableAllocator {
             resources,
             input_arbiters: (0..groups).map(|_| RoundRobinArbiter::new(members_per_group)).collect(),
             output_arbiters: (0..resources).map(|_| RoundRobinArbiter::new(groups)).collect(),
+            stage1: vec![None; groups],
+            member_masks: vec![0; groups],
+            resource_of: vec![0; groups * members_per_group],
+            grants: Vec::with_capacity(groups),
         }
     }
 
@@ -81,50 +99,56 @@ impl SeparableAllocator {
     /// Panics if the allocator was built with more than 64 members per group
     /// or more than 64 groups (the router never needs more; the limit keeps
     /// the per-cycle arbitration allocation-free).
-    pub fn allocate(&mut self, requests: &[AllocRequest]) -> Vec<AllocGrant> {
+    pub fn allocate(&mut self, requests: &[AllocRequest]) -> &[AllocGrant] {
+        self.grants.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return &self.grants;
         }
         assert!(
             self.members_per_group <= 64 && self.groups <= 64,
             "separable allocator supports at most 64 members and 64 groups"
         );
-        // Stage 1: per-group arbitration among that group's requesting members.
-        let mut stage1: Vec<Option<(usize, usize)>> = vec![None; self.groups]; // (member, resource)
-        for group in 0..self.groups {
-            let mut member_mask = 0u64;
-            for req in requests {
-                if req.group == group
-                    && req.member < self.members_per_group
-                    && req.resource < self.resources
-                {
-                    member_mask |= 1u64 << req.member;
+        // Stage 1: per-group arbitration among that group's requesting
+        // members. One pass over the requests fills the per-group member
+        // masks and the (group, member) → resource table; when a member
+        // appears in several requests the first one wins, matching the
+        // original "first matching request" semantics.
+        self.member_masks.fill(0);
+        for req in requests {
+            if req.group < self.groups
+                && req.member < self.members_per_group
+                && req.resource < self.resources
+            {
+                let bit = 1u64 << req.member;
+                if self.member_masks[req.group] & bit == 0 {
+                    self.member_masks[req.group] |= bit;
+                    self.resource_of[req.group * self.members_per_group + req.member] =
+                        req.resource;
                 }
             }
-            if let Some(member) = self.input_arbiters[group].peek_mask(member_mask) {
-                // Find the resource this member asked for (first matching request).
-                let resource = requests
-                    .iter()
-                    .find(|r| r.group == group && r.member == member && r.resource < self.resources)
-                    .map(|r| r.resource)
-                    .expect("peek only returns members that requested something");
-                stage1[group] = Some((member, resource));
-            }
+        }
+        for group in 0..self.groups {
+            self.stage1[group] =
+                self.input_arbiters[group].peek_mask(self.member_masks[group]).map(|member| {
+                    (member, self.resource_of[group * self.members_per_group + member])
+                });
         }
 
         // Stage 2: per-resource arbitration among groups that survived stage 1.
-        // Only resources that were actually requested need an arbitration round.
-        let mut grants = Vec::new();
-        let mut done_resources: Vec<usize> = Vec::new();
-        for (_g, s) in stage1.iter().enumerate() {
-            let Some((_member, resource)) = s else { continue };
-            let resource = *resource;
-            if done_resources.contains(&resource) {
+        // Only resources that were actually requested need an arbitration
+        // round; a resource already proposed by an earlier group was arbitrated
+        // in that group's iteration, which the `stage1[..g]` scan below detects
+        // (linear, but group counts are ≤ 5 in practice).
+        for g in 0..self.groups {
+            let Some((_member, resource)) = self.stage1[g] else { continue };
+            let proposed_earlier = self.stage1[..g]
+                .iter()
+                .any(|s| matches!(s, Some((_, r)) if *r == resource));
+            if proposed_earlier {
                 continue;
             }
-            done_resources.push(resource);
             let mut group_mask = 0u64;
-            for (group, s2) in stage1.iter().enumerate() {
+            for (group, s2) in self.stage1.iter().enumerate() {
                 if let Some((_m, r)) = s2 {
                     if *r == resource {
                         group_mask |= 1u64 << group;
@@ -132,15 +156,15 @@ impl SeparableAllocator {
                 }
             }
             if let Some(group) = self.output_arbiters[resource].peek_mask(group_mask) {
-                let (member, _r) = stage1[group].expect("stage-1 winner exists");
-                grants.push(AllocGrant { group, member, resource });
+                let (member, _r) = self.stage1[group].expect("stage-1 winner exists");
+                self.grants.push(AllocGrant { group, member, resource });
                 // Rotate both arbiters only for committed grants so that
                 // losing requesters keep their priority.
                 self.output_arbiters[resource].commit(group);
                 self.input_arbiters[group].commit(member);
             }
         }
-        grants
+        &self.grants
     }
 }
 
@@ -210,7 +234,7 @@ mod tests {
         let requests =
             vec![req(0, 3, 1), req(0, 5, 2), req(2, 1, 1), req(3, 0, 4), req(4, 7, 2)];
         let grants = alloc.allocate(&requests);
-        for g in &grants {
+        for g in grants {
             assert!(
                 requests
                     .iter()

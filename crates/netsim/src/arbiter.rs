@@ -67,12 +67,17 @@ impl RoundRobinArbiter {
     /// Panics if the arbiter has more than 64 requesters.
     pub fn peek_mask(&self, requests: u64) -> Option<usize> {
         assert!(self.size <= 64, "mask-based arbitration supports at most 64 requesters");
+        let valid = if self.size == 64 { u64::MAX } else { (1u64 << self.size) - 1 };
+        let requests = requests & valid;
         if requests == 0 {
             return None;
         }
-        (0..self.size)
-            .map(|offset| (self.next_priority + offset) % self.size)
-            .find(|&candidate| requests & (1u64 << candidate) != 0)
+        // Round-robin in two bit operations: first requester at or after the
+        // priority pointer, else wrap to the lowest requester.
+        let at_or_after = requests & !((1u64 << self.next_priority) - 1);
+        let winner =
+            if at_or_after != 0 { at_or_after.trailing_zeros() } else { requests.trailing_zeros() };
+        Some(winner as usize)
     }
 
     /// Rotates the priority pointer past `winner`.

@@ -14,6 +14,11 @@ use serde::{Deserialize, Serialize};
 pub struct DualClock {
     node_frequency_hz: f64,
     noc_frequency_hz: f64,
+    /// Cached `1e12 / noc_frequency_hz` — the per-cycle hot path adds this
+    /// every NoC cycle and must not pay a division for it.
+    noc_period_ps: f64,
+    /// Cached `node_frequency_hz / 1e12` (node cycles per picosecond).
+    node_cycles_per_ps: f64,
     noc_cycle: u64,
     wall_time_ps: f64,
     node_cycles_emitted: u64,
@@ -25,6 +30,8 @@ impl DualClock {
         DualClock {
             node_frequency_hz: node_frequency.as_hz(),
             noc_frequency_hz: noc_frequency.as_hz(),
+            noc_period_ps: 1.0e12 / noc_frequency.as_hz(),
+            node_cycles_per_ps: node_frequency.as_hz() / 1.0e12,
             noc_cycle: 0,
             wall_time_ps: 0.0,
             node_cycles_emitted: 0,
@@ -44,6 +51,7 @@ impl DualClock {
     /// Changes the NoC clock frequency (takes effect from the next cycle).
     pub fn set_noc_frequency(&mut self, f: Hertz) {
         self.noc_frequency_hz = f.as_hz();
+        self.noc_period_ps = 1.0e12 / self.noc_frequency_hz;
     }
 
     /// Number of NoC cycles elapsed since the start of the simulation.
@@ -70,11 +78,10 @@ impl DualClock {
     /// larger than one; when the two clocks match it is exactly one on
     /// average.
     pub fn advance_noc_cycle(&mut self) -> u64 {
-        let period_ps = 1.0e12 / self.noc_frequency_hz;
         self.noc_cycle += 1;
-        self.wall_time_ps += period_ps;
+        self.wall_time_ps += self.noc_period_ps;
         // Node cycles completed up to the new wall-clock time.
-        let total_node_cycles = (self.wall_time_ps * self.node_frequency_hz / 1.0e12) as u64;
+        let total_node_cycles = (self.wall_time_ps * self.node_cycles_per_ps) as u64;
         let newly_completed = total_node_cycles.saturating_sub(self.node_cycles_emitted);
         self.node_cycles_emitted = total_node_cycles;
         newly_completed

@@ -5,14 +5,21 @@
 //! (source, destination), body flits follow it through the same virtual
 //! channels, and a tail flit releases the resources. A single-flit packet uses
 //! the combined [`FlitKind::HeadTail`] kind.
+//!
+//! # Performance
+//!
+//! [`Flit`] is the unit the hot path copies billions of times per experiment,
+//! so it is deliberately small (40 bytes) and `Copy`: node indices and the
+//! per-packet flit index are narrowed to `u32`, the virtual channel to `u8`
+//! and the hop counter to `u16`. Serde derives are gated behind the
+//! `flit-serde` feature so the default build carries no serialization code on
+//! the hot type; stats/result types keep serialization unconditionally.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique identifier of a packet within one simulation run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "flit-serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PacketId(u64);
 
 impl PacketId {
@@ -34,7 +41,9 @@ impl fmt::Display for PacketId {
 }
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "flit-serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet; carries routing information.
     Head,
@@ -59,26 +68,29 @@ impl FlitKind {
 }
 
 /// One flow-control unit travelling through the network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy` and 40 bytes wide — see the module docs for the layout rationale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "flit-serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Flit {
     /// Identifier of the packet this flit belongs to.
     pub packet_id: PacketId,
-    /// Position of the flit within the packet.
-    pub kind: FlitKind,
-    /// Source node index.
-    pub src: usize,
-    /// Destination node index.
-    pub dst: usize,
-    /// Zero-based index of the flit within its packet.
-    pub index_in_packet: usize,
-    /// Virtual channel the flit occupies on the link it is currently using.
-    pub vc: usize,
     /// NoC cycle at which the packet was created by its source.
     pub creation_cycle: u64,
     /// Wall-clock time (ps) at which the packet was created by its source.
     pub creation_time_ps: f64,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Zero-based index of the flit within its packet.
+    pub index_in_packet: u32,
+    /// Position of the flit within the packet.
+    pub kind: FlitKind,
+    /// Virtual channel the flit occupies on the link it is currently using.
+    pub vc: u8,
     /// Number of router hops traversed so far (for diagnostics).
-    pub hops: u32,
+    pub hops: u16,
 }
 
 impl Flit {
@@ -111,14 +123,32 @@ impl Flit {
         Flit {
             packet_id,
             kind,
-            src,
-            dst,
-            index_in_packet: index,
+            src: src as u32,
+            dst: dst as u32,
+            index_in_packet: index as u32,
             vc: 0,
             creation_cycle,
             creation_time_ps,
             hops: 0,
         }
+    }
+
+    /// Source node index as a `usize` (indexing convenience).
+    #[inline]
+    pub fn src(&self) -> usize {
+        self.src as usize
+    }
+
+    /// Destination node index as a `usize` (indexing convenience).
+    #[inline]
+    pub fn dst(&self) -> usize {
+        self.dst as usize
+    }
+
+    /// Virtual channel as a `usize` (indexing convenience).
+    #[inline]
+    pub fn vc(&self) -> usize {
+        self.vc as usize
     }
 
     /// Builds every flit of a packet in order.
@@ -193,9 +223,18 @@ mod tests {
         let f = Flit::new(PacketId::new(9), 2, 4, 0, 3, 42, 777.5);
         assert_eq!(f.creation_cycle, 42);
         assert_eq!(f.creation_time_ps, 777.5);
-        assert_eq!(f.src, 2);
-        assert_eq!(f.dst, 4);
+        assert_eq!(f.src(), 2);
+        assert_eq!(f.dst(), 4);
         assert_eq!(f.hops, 0);
+    }
+
+    #[test]
+    fn flit_is_small_and_copy() {
+        // The hot path depends on Flit staying a small Copy value; catch
+        // accidental growth (e.g. a reintroduced wide field) at test time.
+        assert!(std::mem::size_of::<Flit>() <= 40, "Flit grew to {} bytes", std::mem::size_of::<Flit>());
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Flit>();
     }
 
     #[test]

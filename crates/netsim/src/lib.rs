@@ -38,25 +38,53 @@
 //!
 //! ## Module map
 //!
-//! | module | role |
-//! |---|---|
-//! | [`units`] | frequency / time / rate newtypes |
-//! | [`config`] | [`NetworkConfig`] and its builder |
-//! | [`flit`] | flits, packets and their identifiers |
-//! | [`topology`] | 2D mesh geometry and port algebra |
-//! | [`routing`] | dimension-ordered (XY) routing |
-//! | [`buffer`] | per-VC FIFO buffers |
-//! | [`arbiter`] | round-robin arbiters |
-//! | [`allocator`] | separable input-first allocator |
-//! | [`router`] | the VC router pipeline (RC → VA → SA → ST) |
-//! | [`link`] | inter-router flit and credit channels |
-//! | [`traffic`] | synthetic patterns and traffic matrices |
-//! | [`source`] | node-clock-driven packet generation |
-//! | [`sink`] | ejection and per-packet recording |
-//! | [`activity`] | switching-activity counters for power estimation |
-//! | [`stats`] | latency / delay / throughput statistics |
-//! | [`clock`] | dual-clock (node vs NoC) bookkeeping |
-//! | [`sim`] | the [`NocSimulation`] driver |
+//! | module | role | hot-path notes |
+//! |---|---|---|
+//! | [`units`] | frequency / time / rate newtypes | — |
+//! | [`config`] | [`NetworkConfig`] and its builder | — |
+//! | [`flit`] | flits, packets and their identifiers | 40-byte `Copy` [`Flit`]; serde gated behind `flit-serde` |
+//! | [`topology`] | 2D mesh geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
+//! | [`routing`] | dimension-ordered (XY) routing | invoked once per head flit, not per flit |
+//! | [`buffer`] | per-VC FIFO buffers | capacity fixed at construction; never reallocates |
+//! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
+//! | [`allocator`] | separable input-first allocator | single pass over requests; persistent scratch, zero allocation per round |
+//! | [`router`] | the VC router pipeline (RC → VA → SA → ST) | flat VC arrays + per-port state bitmasks; appends into a caller-owned [`TraversalOutput`](router::TraversalOutput) |
+//! | [`link`] | inter-router flit and credit channels | callback delivery ([`DelayChannel::deliver`](link::DelayChannel::deliver)), no per-cycle `Vec` |
+//! | [`traffic`] | synthetic patterns and traffic matrices | — |
+//! | [`source`] | node-clock-driven packet generation | clone-free injection ([`Source::try_inject`](source::Source::try_inject)) |
+//! | [`sink`] | ejection and per-packet recording | flat counters, no per-packet map |
+//! | [`activity`] | switching-activity counters for power estimation | — |
+//! | [`stats`] | latency / delay / throughput statistics | — |
+//! | [`clock`] | dual-clock (node vs NoC) bookkeeping | per-cycle divisions cached on frequency change |
+//! | [`sim`] | the [`NocSimulation`] driver | owns the per-cycle scratch; see below |
+//!
+//! ## Performance: the scratch-buffer contract
+//!
+//! The steady-state cycle loop ([`NocSimulation::step`]) performs **zero heap
+//! allocations**. That property rests on a simple ownership contract:
+//!
+//! * **Routers own their allocation scratch.** The request list reused by the
+//!   VA and SA stages and the grant buffers inside the two
+//!   [`SeparableAllocator`](allocator::SeparableAllocator)s live in the
+//!   [`Router`](router::Router) / allocator and are cleared *by the stage
+//!   that fills them*, at the start of each round.
+//! * **The driver owns the traversal scratch.** One
+//!   [`TraversalOutput`](router::TraversalOutput) lives in [`NocSimulation`]
+//!   and is cleared by the driver before each router's SA/ST stage; the
+//!   router only appends. Capacity is retained across cycles, so the lists
+//!   stop allocating after the first few congested cycles.
+//! * **Channels deliver through callbacks.** A
+//!   [`DelayChannel`](link::DelayChannel) hands due items straight out of its
+//!   ring buffer to a caller closure; `deliver_collect` (allocating) exists
+//!   for tests only.
+//! * **Flits are 40-byte `Copy` values.** Injection pops them from the source
+//!   queue ([`Source::try_inject`](source::Source::try_inject)); nothing on
+//!   the flit path clones.
+//!
+//! Benchmarks: `cargo bench -p noc-bench --bench sim_throughput` measures raw
+//! cycles/second; `scripts/bench.sh` records the tracked suite into
+//! `BENCH_sim_throughput.json` at the repo root (see the README's
+//! Performance section for the current numbers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

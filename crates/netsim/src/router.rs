@@ -41,23 +41,16 @@ pub enum VcState {
 struct InputVc {
     state: VcState,
     buffer: VcBuffer,
-    out_port: Option<usize>,
-    out_vc: Option<usize>,
+    /// Output port chosen by RC (narrow on purpose: ports fit in a `u8` and
+    /// the smaller `InputVc` keeps more VC state per cache line).
+    out_port: Option<u8>,
+    /// Downstream VC assigned by VA.
+    out_vc: Option<u8>,
 }
 
 impl InputVc {
     fn new(depth: usize) -> Self {
         InputVc { state: VcState::Idle, buffer: VcBuffer::new(depth), out_port: None, out_vc: None }
-    }
-
-    fn release(&mut self) {
-        self.state = VcState::Idle;
-        self.out_port = None;
-        self.out_vc = None;
-        if let Some(front) = self.buffer.front() {
-            debug_assert!(front.kind.is_head(), "flit following a tail must be a head");
-            self.state = VcState::Routing;
-        }
     }
 }
 
@@ -87,6 +80,10 @@ pub struct CreditReturn {
 }
 
 /// Everything produced by one switch-allocation / switch-traversal step.
+///
+/// The simulation driver owns one `TraversalOutput` and reuses it for every
+/// router every cycle ([`clear`](Self::clear) resets the lists but keeps the
+/// capacity), so the steady-state pipeline performs no heap allocation.
 #[derive(Debug, Default)]
 pub struct TraversalOutput {
     /// Flits sent towards neighbouring routers.
@@ -97,34 +94,83 @@ pub struct TraversalOutput {
     pub ejected: Vec<Flit>,
 }
 
+impl TraversalOutput {
+    /// Empties all three lists, retaining their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.outgoing.clear();
+        self.credits.clear();
+        self.ejected.clear();
+    }
+
+    /// Whether the step produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outgoing.is_empty() && self.credits.is_empty() && self.ejected.is_empty()
+    }
+}
+
 /// One mesh router.
+///
+/// # Scratch-buffer contract
+///
+/// The router owns persistent scratch (`requests`, plus the grant buffers
+/// inside the two allocators) that is cleared and refilled inside each
+/// pipeline stage. Callers provide the [`TraversalOutput`] that
+/// [`sa_st_stage`](Self::sa_st_stage) appends into and are responsible for
+/// clearing it between routers/cycles; the router never clears it, so one
+/// buffer can also accumulate output across several routers if desired.
+///
+/// # Performance
+///
+/// Input and output VC state lives in flat `Vec`s indexed by
+/// `port * vcs + vc`, and every pipeline stage walks per-port bitmasks
+/// (`routing_mask`, `va_mask`, `active_mask`) instead of scanning all
+/// `PORT_COUNT × vcs` VC slots, so a stage's cost is proportional to the
+/// number of VCs that actually need work that cycle. At most 64 VCs per port
+/// are supported (the masks are `u64`, matching the allocator's arbiter
+/// limit).
 #[derive(Debug)]
 pub struct Router {
     node: usize,
     vcs: usize,
-    inputs: Vec<Vec<InputVc>>,
-    outputs: Vec<Vec<OutputVc>>,
+    /// Input VC state, flat-indexed by `port * vcs + vc`.
+    inputs: Vec<InputVc>,
+    /// Output VC state, flat-indexed by `port * vcs + vc`.
+    outputs: Vec<OutputVc>,
     vc_allocator: SeparableAllocator,
     sw_allocator: SeparableAllocator,
     out_vc_rr: Vec<usize>,
+    /// Per-port bitmask of input VCs in the `Routing` state.
+    routing_mask: [u64; PORT_COUNT],
+    /// Per-port bitmask of input VCs in the `VcAllocation` state.
+    va_mask: [u64; PORT_COUNT],
+    /// Per-port bitmask of input VCs in the `Active` state.
+    active_mask: [u64; PORT_COUNT],
+    /// Per-port bitmask of output VCs *not* allocated to a packet.
+    free_out_mask: [u64; PORT_COUNT],
     activity: RouterActivity,
     /// Total flits currently buffered (kept incrementally so that idle
     /// routers can skip their pipeline stages cheaply).
     buffered: usize,
+    /// Scratch: allocation requests of the current VA or SA round.
+    requests: Vec<AllocRequest>,
 }
 
 impl Router {
     /// Creates a router for mesh node `node` using the buffer/VC parameters
     /// of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for more than 64 virtual channels
+    /// (the per-port state bitmasks are 64 bits wide).
     pub fn new(node: usize, cfg: &NetworkConfig) -> Self {
         let vcs = cfg.virtual_channels();
+        assert!(vcs <= 64, "router supports at most 64 virtual channels per port");
         let depth = cfg.buffer_depth();
-        let inputs = (0..PORT_COUNT)
-            .map(|_| (0..vcs).map(|_| InputVc::new(depth)).collect())
-            .collect();
-        let outputs = (0..PORT_COUNT)
-            .map(|_| (0..vcs).map(|_| OutputVc { credits: depth, allocated: false }).collect())
-            .collect();
+        let inputs = (0..PORT_COUNT * vcs).map(|_| InputVc::new(depth)).collect();
+        let outputs =
+            (0..PORT_COUNT * vcs).map(|_| OutputVc { credits: depth, allocated: false }).collect();
+        let all_vcs_free = if vcs == 64 { u64::MAX } else { (1u64 << vcs) - 1 };
         Router {
             node,
             vcs,
@@ -133,8 +179,13 @@ impl Router {
             vc_allocator: SeparableAllocator::new(PORT_COUNT, vcs, PORT_COUNT * vcs),
             sw_allocator: SeparableAllocator::new(PORT_COUNT, vcs, PORT_COUNT),
             out_vc_rr: vec![0; PORT_COUNT],
+            routing_mask: [0; PORT_COUNT],
+            va_mask: [0; PORT_COUNT],
+            active_mask: [0; PORT_COUNT],
+            free_out_mask: [all_vcs_free; PORT_COUNT],
             activity: RouterActivity::new(),
             buffered: 0,
+            requests: Vec::with_capacity(PORT_COUNT * vcs),
         }
     }
 
@@ -166,17 +217,17 @@ impl Router {
     /// Control state of input VC (`port`, `vc`) — intended for tests and
     /// debugging.
     pub fn input_vc_state(&self, port: usize, vc: usize) -> VcState {
-        self.inputs[port][vc].state
+        self.inputs[port * self.vcs + vc].state
     }
 
     /// Buffer occupancy of input VC (`port`, `vc`).
     pub fn input_vc_occupancy(&self, port: usize, vc: usize) -> usize {
-        self.inputs[port][vc].buffer.len()
+        self.inputs[port * self.vcs + vc].buffer.len()
     }
 
     /// Credits currently available on output (`port`, `vc`).
     pub fn output_credits(&self, port: usize, vc: usize) -> usize {
-        self.outputs[port][vc].credits
+        self.outputs[port * self.vcs + vc].credits
     }
 
     /// Total number of flits buffered in this router.
@@ -192,9 +243,9 @@ impl Router {
     /// Panics if the flit's VC is out of range or the target buffer is full
     /// (which would mean the upstream credit accounting is broken).
     pub fn accept_flit(&mut self, in_port: usize, flit: Flit) {
-        let vc = flit.vc;
+        let vc = flit.vc();
         assert!(vc < self.vcs, "flit arrived on unknown VC {vc}");
-        let input = &mut self.inputs[in_port][vc];
+        let input = &mut self.inputs[in_port * self.vcs + vc];
         input.buffer.push(flit);
         self.buffered += 1;
         self.activity.buffer_writes += 1;
@@ -203,6 +254,7 @@ impl Router {
                 input.buffer.front().map(|f| f.kind.is_head()).unwrap_or(false);
             if front_is_head {
                 input.state = VcState::Routing;
+                self.routing_mask[in_port] |= 1u64 << vc;
             }
         }
     }
@@ -211,7 +263,7 @@ impl Router {
     /// freed one buffer slot.
     pub fn accept_credit(&mut self, out_port: usize, vc: usize) {
         assert!(vc < self.vcs, "credit for unknown VC {vc}");
-        self.outputs[out_port][vc].credits += 1;
+        self.outputs[out_port * self.vcs + vc].credits += 1;
     }
 
     /// Route-computation stage: resolves the output port of every head flit
@@ -221,18 +273,25 @@ impl Router {
             return;
         }
         for port in 0..PORT_COUNT {
-            for vc in 0..self.vcs {
-                let input = &mut self.inputs[port][vc];
-                if input.state != VcState::Routing {
-                    continue;
-                }
+            let mut mask = self.routing_mask[port];
+            if mask == 0 {
+                continue;
+            }
+            // Every VC in Routing state advances to VcAllocation this cycle.
+            self.va_mask[port] |= mask;
+            self.routing_mask[port] = 0;
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &mut self.inputs[port * self.vcs + vc];
+                debug_assert_eq!(input.state, VcState::Routing);
                 let head = input
                     .buffer
                     .front()
                     .expect("a VC in Routing state must have a head flit buffered");
                 debug_assert!(head.kind.is_head());
-                let dir = routing.route(mesh, self.node, head.dst);
-                input.out_port = Some(dir.index());
+                let dir = routing.route(mesh, self.node, head.dst());
+                input.out_port = Some(dir.index() as u8);
                 input.state = VcState::VcAllocation;
             }
         }
@@ -244,37 +303,44 @@ impl Router {
         if self.buffered == 0 {
             return;
         }
-        // Gather requests: every input VC waiting for VC allocation proposes
-        // one candidate output VC on its output port (round-robin scan over
-        // unallocated VCs).
-        let mut requests = Vec::new();
+        // Gather requests into the persistent scratch buffer: every input VC
+        // waiting for VC allocation proposes one candidate output VC on its
+        // output port (round-robin pick over the free-VC bitmask: first free
+        // VC at or after the rotating start, wrapping to the lowest free VC).
+        self.requests.clear();
         for port in 0..PORT_COUNT {
-            for vc in 0..self.vcs {
-                let input = &self.inputs[port][vc];
-                if input.state != VcState::VcAllocation {
+            let mut mask = self.va_mask[port];
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &self.inputs[port * self.vcs + vc];
+                debug_assert_eq!(input.state, VcState::VcAllocation);
+                let out_port = input.out_port.expect("out_port set during RC") as usize;
+                let free = self.free_out_mask[out_port];
+                if free == 0 {
                     continue;
                 }
-                let out_port = input.out_port.expect("out_port set during RC");
                 let start = self.out_vc_rr[out_port];
-                let pick = (0..self.vcs)
-                    .map(|off| (start + off) % self.vcs)
-                    .find(|&ovc| !self.outputs[out_port][ovc].allocated);
-                if let Some(ovc) = pick {
-                    requests.push(AllocRequest {
-                        group: port,
-                        member: vc,
-                        resource: out_port * self.vcs + ovc,
-                    });
-                }
+                let at_or_after = free & !((1u64 << start) - 1);
+                let ovc = if at_or_after != 0 {
+                    at_or_after.trailing_zeros() as usize
+                } else {
+                    free.trailing_zeros() as usize
+                };
+                self.requests.push(AllocRequest {
+                    group: port,
+                    member: vc,
+                    resource: out_port * self.vcs + ovc,
+                });
             }
         }
-        if requests.is_empty() {
+        if self.requests.is_empty() {
             return;
         }
-        for grant in self.vc_allocator.allocate(&requests) {
+        for grant in self.vc_allocator.allocate(&self.requests) {
             let out_port = grant.resource / self.vcs;
             let out_vc = grant.resource % self.vcs;
-            let output = &mut self.outputs[out_port][out_vc];
+            let output = &mut self.outputs[grant.resource];
             if output.allocated {
                 // Another grant in the same round took it (cannot happen with
                 // a separable allocator granting each resource once, but keep
@@ -282,9 +348,12 @@ impl Router {
                 continue;
             }
             output.allocated = true;
-            let input = &mut self.inputs[grant.group][grant.member];
-            input.out_vc = Some(out_vc);
+            self.free_out_mask[out_port] &= !(1u64 << out_vc);
+            let input = &mut self.inputs[grant.group * self.vcs + grant.member];
+            input.out_vc = Some(out_vc as u8);
             input.state = VcState::Active;
+            self.va_mask[grant.group] &= !(1u64 << grant.member);
+            self.active_mask[grant.group] |= 1u64 << grant.member;
             self.activity.vc_allocations += 1;
             self.out_vc_rr[out_port] = (out_vc + 1) % self.vcs;
         }
@@ -294,63 +363,79 @@ impl Router {
     ///
     /// Active VCs with a buffered flit and downstream credit compete for the
     /// crossbar; winners move one flit each towards their output port.
-    pub fn sa_st_stage(&mut self) -> TraversalOutput {
+    ///
+    /// Results are **appended** to `out`, which the caller owns and reuses
+    /// across routers/cycles (see the type-level scratch-buffer contract on
+    /// [`Router`]); the caller clears it, typically once per cycle.
+    pub fn sa_st_stage(&mut self, out: &mut TraversalOutput) {
         if self.buffered == 0 {
-            return TraversalOutput::default();
+            return;
         }
-        let mut requests = Vec::new();
+        self.requests.clear();
         for port in 0..PORT_COUNT {
-            for vc in 0..self.vcs {
-                let input = &self.inputs[port][vc];
-                if input.state != VcState::Active || input.buffer.is_empty() {
+            let mut mask = self.active_mask[port];
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &self.inputs[port * self.vcs + vc];
+                debug_assert_eq!(input.state, VcState::Active);
+                if input.buffer.is_empty() {
                     continue;
                 }
-                let out_port = input.out_port.expect("active VC has a route");
-                let out_vc = input.out_vc.expect("active VC has an output VC");
-                let has_credit =
-                    out_port == LOCAL_PORT || self.outputs[out_port][out_vc].credits > 0;
+                let out_port = input.out_port.expect("active VC has a route") as usize;
+                let out_vc = input.out_vc.expect("active VC has an output VC") as usize;
+                let has_credit = out_port == LOCAL_PORT
+                    || self.outputs[out_port * self.vcs + out_vc].credits > 0;
                 if has_credit {
-                    requests.push(AllocRequest { group: port, member: vc, resource: out_port });
+                    self.requests.push(AllocRequest { group: port, member: vc, resource: out_port });
                 }
             }
         }
-        let mut out = TraversalOutput::default();
-        if requests.is_empty() {
-            return out;
+        if self.requests.is_empty() {
+            return;
         }
-        for grant in self.sw_allocator.allocate(&requests) {
+        for grant in self.sw_allocator.allocate(&self.requests) {
             let in_port = grant.group;
             let in_vc = grant.member;
+            let in_idx = in_port * self.vcs + in_vc;
             let out_port = grant.resource;
-            let out_vc = self.inputs[in_port][in_vc].out_vc.expect("active VC has an output VC");
-            let mut flit = self.inputs[in_port][in_vc]
-                .buffer
-                .pop()
-                .expect("granted VC has a buffered flit");
+            let out_vc = self.inputs[in_idx].out_vc.expect("active VC has an output VC") as usize;
+            let mut flit =
+                self.inputs[in_idx].buffer.pop().expect("granted VC has a buffered flit");
             self.buffered -= 1;
             self.activity.buffer_reads += 1;
             self.activity.crossbar_traversals += 1;
             self.activity.switch_allocations += 1;
             out.credits.push(CreditReturn { in_port, vc: in_vc });
             let is_tail = flit.kind.is_tail();
-            flit.vc = out_vc;
+            flit.vc = out_vc as u8;
             flit.hops += 1;
             if out_port == LOCAL_PORT {
                 self.activity.ejected_flits += 1;
                 out.ejected.push(flit);
             } else {
-                let output = &mut self.outputs[out_port][out_vc];
+                let output = &mut self.outputs[out_port * self.vcs + out_vc];
                 debug_assert!(output.credits > 0, "switch allocation granted without credit");
                 output.credits -= 1;
                 self.activity.link_flits += 1;
                 out.outgoing.push(OutgoingFlit { out_port, flit });
             }
             if is_tail {
-                self.outputs[out_port][out_vc].allocated = false;
-                self.inputs[in_port][in_vc].release();
+                // The tail releases both the output VC and the input VC.
+                self.outputs[out_port * self.vcs + out_vc].allocated = false;
+                self.free_out_mask[out_port] |= 1u64 << out_vc;
+                self.active_mask[in_port] &= !(1u64 << in_vc);
+                let input = &mut self.inputs[in_idx];
+                input.state = VcState::Idle;
+                input.out_port = None;
+                input.out_vc = None;
+                if let Some(front) = input.buffer.front() {
+                    debug_assert!(front.kind.is_head(), "flit following a tail must be a head");
+                    input.state = VcState::Routing;
+                    self.routing_mask[in_port] |= 1u64 << in_vc;
+                }
             }
         }
-        out
     }
 }
 
@@ -377,7 +462,8 @@ mod tests {
 
     /// Drives the router's three internal stages once, as the network would.
     fn step(router: &mut Router, mesh: &Mesh2d, routing: &XyRouting) -> TraversalOutput {
-        let out = router.sa_st_stage();
+        let mut out = TraversalOutput::default();
+        router.sa_st_stage(&mut out);
         router.va_stage();
         router.rc_stage(mesh, routing);
         out
@@ -388,7 +474,7 @@ mod tests {
         let cfg = small_config();
         let mut router = Router::new(4, &cfg); // centre of the 3x3 mesh
         let flits = packet(1, 4, 5, 3);
-        router.accept_flit(LOCAL_PORT, flits[0].clone());
+        router.accept_flit(LOCAL_PORT, flits[0]);
         assert_eq!(router.input_vc_state(LOCAL_PORT, 0), VcState::Routing);
         assert_eq!(router.activity().buffer_writes, 1);
     }
@@ -429,7 +515,7 @@ mod tests {
         let mut flits = packet(9, 1, 4, 3);
         for f in &mut flits {
             f.vc = 1;
-            router.accept_flit(Direction::North.index(), f.clone());
+            router.accept_flit(Direction::North.index(), *f);
         }
         let mut ejected = Vec::new();
         for _ in 0..10 {
@@ -542,7 +628,7 @@ mod tests {
         assert_eq!(sent.len(), 6, "both packets eventually traverse");
         // They must have used different output VCs (VC allocation keeps
         // packets separate on the shared link).
-        let vcs: std::collections::HashSet<usize> = sent.iter().map(|s| s.flit.vc).collect();
+        let vcs: std::collections::HashSet<u8> = sent.iter().map(|s| s.flit.vc).collect();
         assert_eq!(vcs.len(), 2);
     }
 

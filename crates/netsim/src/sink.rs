@@ -6,15 +6,20 @@
 //! wall-clock time — the two quantities whose divergence under DVFS is the
 //! central topic of the paper.
 
-use crate::flit::{Flit, PacketId};
+use crate::flit::Flit;
 use crate::stats::PacketRecord;
-use std::collections::HashMap;
 
 /// Reassembles packets at their destinations and emits completion records.
+///
+/// # Performance
+///
+/// The sink is allocation-free and O(1) per flit: wormhole routing delivers a
+/// packet's flits in order, so the tail flit's `index_in_packet + 1` *is* the
+/// packet's flit count and no per-packet map is needed. Packets in flight are
+/// tracked with two flat counters (heads seen vs tails seen).
 #[derive(Debug, Default)]
 pub struct Sink {
-    /// Flits received so far for packets that are not yet complete.
-    in_flight: HashMap<PacketId, usize>,
+    packets_started: u64,
     packets_completed: u64,
     flits_received: u64,
 }
@@ -37,7 +42,7 @@ impl Sink {
 
     /// Number of packets that have started arriving but are not complete.
     pub fn incomplete_packets(&self) -> usize {
-        self.in_flight.len()
+        (self.packets_started - self.packets_completed) as usize
     }
 
     /// Accepts an ejected flit. Returns a completion record when the flit was
@@ -45,21 +50,22 @@ impl Sink {
     ///
     /// `eject_cycle` and `eject_time_ps` are the NoC cycle and wall-clock time
     /// at which the flit left the network.
+    #[inline]
     pub fn accept(&mut self, flit: &Flit, eject_cycle: u64, eject_time_ps: f64) -> Option<PacketRecord> {
         self.flits_received += 1;
-        let count = self.in_flight.entry(flit.packet_id).or_insert(0);
-        *count += 1;
+        if flit.kind.is_head() {
+            self.packets_started += 1;
+        }
         if flit.kind.is_tail() {
-            let flits = self.in_flight.remove(&flit.packet_id).unwrap_or(1);
             self.packets_completed += 1;
             Some(PacketRecord {
                 packet_id: flit.packet_id,
-                src: flit.src,
-                dst: flit.dst,
-                flits,
+                src: flit.src(),
+                dst: flit.dst(),
+                flits: flit.index_in_packet as usize + 1,
                 latency_cycles: eject_cycle.saturating_sub(flit.creation_cycle),
                 delay_ps: (eject_time_ps - flit.creation_time_ps).max(0.0),
-                hops: flit.hops,
+                hops: flit.hops as u32,
             })
         } else {
             None
@@ -70,7 +76,7 @@ impl Sink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::Flit;
+    use crate::flit::{Flit, PacketId};
 
     #[test]
     fn completion_only_on_tail() {

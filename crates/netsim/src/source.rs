@@ -30,7 +30,7 @@ pub struct Source {
 
 /// A flit that the source wants to place into the router's local input port
 /// this cycle, on virtual channel `vc`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InjectionOffer {
     /// Virtual channel of the local input port to write into.
     pub vc: usize,
@@ -115,30 +115,33 @@ impl Source {
         }
     }
 
-    /// Proposes at most one flit to inject this NoC cycle, given the credit
-    /// state of the injection channel. Call [`commit_injection`] if the offer
-    /// is accepted.
-    ///
-    /// [`commit_injection`]: Self::commit_injection
-    pub fn injection_offer(&mut self) -> Option<InjectionOffer> {
+    /// Picks the virtual channel the front flit would inject on, given the
+    /// current credit state, without consuming anything.
+    fn injection_vc(&self) -> Option<usize> {
         let front = self.pending.front()?;
-        let vc = if front.kind.is_head() {
+        if front.kind.is_head() {
             // Starting a new packet: pick a VC with available credit,
             // scanning round-robin from `next_vc` for fairness.
             let vcs = self.credits.len();
             (0..vcs)
                 .map(|offset| (self.next_vc + offset) % vcs)
-                .find(|&vc| self.credits[vc] > 0)?
+                .find(|&vc| self.credits[vc] > 0)
         } else {
             // Continuing the current packet on its VC (if credit remains).
             let vc = self.active_vc.expect("body flit without an active packet");
-            if self.credits[vc] == 0 {
-                return None;
-            }
-            vc
-        };
-        let mut flit = front.clone();
-        flit.vc = vc;
+            (self.credits[vc] > 0).then_some(vc)
+        }
+    }
+
+    /// Proposes at most one flit to inject this NoC cycle, given the credit
+    /// state of the injection channel. Call [`commit_injection`] if the offer
+    /// is accepted. `Flit` is `Copy`, so the offer is a cheap stack value —
+    /// the hot path uses [`try_inject`](Self::try_inject), which pops the
+    /// queue directly instead of going through an offer.
+    pub fn injection_offer(&mut self) -> Option<InjectionOffer> {
+        let vc = self.injection_vc()?;
+        let mut flit = *self.pending.front().expect("injection_vc saw a front flit");
+        flit.vc = vc as u8;
         Some(InjectionOffer { vc, flit })
     }
 
@@ -146,13 +149,31 @@ impl Source {
     pub fn commit_injection(&mut self, offer: &InjectionOffer) {
         let flit = self.pending.pop_front().expect("committed injection without pending flit");
         debug_assert_eq!(flit.packet_id, offer.flit.packet_id);
-        self.credits[offer.vc] -= 1;
+        self.finish_injection(offer.vc, offer.flit.kind);
+    }
+
+    /// Pops and returns the front flit if a virtual channel with credit is
+    /// available, with `vc` already set — the allocation-free equivalent of
+    /// an [`injection_offer`](Self::injection_offer) followed by
+    /// [`commit_injection`](Self::commit_injection).
+    #[inline]
+    pub fn try_inject(&mut self) -> Option<Flit> {
+        let vc = self.injection_vc()?;
+        let mut flit = self.pending.pop_front().expect("injection_vc saw a front flit");
+        flit.vc = vc as u8;
+        self.finish_injection(vc, flit.kind);
+        Some(flit)
+    }
+
+    /// Shared credit/VC bookkeeping after a flit left the queue.
+    fn finish_injection(&mut self, vc: usize, kind: crate::flit::FlitKind) {
+        self.credits[vc] -= 1;
         self.flits_injected += 1;
-        if offer.flit.kind.is_head() {
-            self.active_vc = Some(offer.vc);
-            self.next_vc = (offer.vc + 1) % self.credits.len();
+        if kind.is_head() {
+            self.active_vc = Some(vc);
+            self.next_vc = (vc + 1) % self.credits.len();
         }
-        if offer.flit.kind.is_tail() {
+        if kind.is_tail() {
             self.active_vc = None;
         }
     }

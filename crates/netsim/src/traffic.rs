@@ -279,7 +279,7 @@ mod tests {
     fn uniform_never_sends_to_self_and_covers_all_nodes() {
         let mesh = Mesh2d::new(4, 4);
         let mut r = rng();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..2000 {
             let dst = TrafficPattern::Uniform.destination(5, &mesh, &mut r).unwrap();
             assert_ne!(dst, 5);

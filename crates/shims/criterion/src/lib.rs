@@ -1,0 +1,303 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API subset the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time` / `warm_up_time` / `throughput`,
+//! `Bencher::iter` and `Bencher::iter_batched`) on top of plain
+//! `std::time::Instant` timing. No statistics beyond mean ± spread are
+//! computed — the point is trend tracking, not rigorous analysis.
+//!
+//! Environment knobs:
+//! * `NOC_BENCH_QUICK=1` — shrink warm-up/measurement times ~10× (CI smoke).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by the shim's timing
+/// model beyond excluding setup from the measured region).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Config {
+    fn new() -> Self {
+        let quick = std::env::var("NOC_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            Config {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(300),
+                warm_up_time: Duration::from_millis(100),
+            }
+        } else {
+            Config {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(3),
+                warm_up_time: Duration::from_secs(1),
+            }
+        }
+    }
+
+    fn scaled(&self, d: Duration) -> Duration {
+        if std::env::var("NOC_BENCH_QUICK").map(|v| v == "1").unwrap_or(false) {
+            d / 10
+        } else {
+            d
+        }
+    }
+}
+
+/// One measured sample set for a routine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observed iteration, nanoseconds.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Times one routine invocation cycle; handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    cfg: Config,
+    measurement: Measurement,
+}
+
+impl Bencher {
+    fn new(cfg: Config) -> Self {
+        Bencher { cfg, measurement: Measurement::default() }
+    }
+
+    /// Measures `routine` repeatedly (criterion's `Bencher::iter`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement (criterion's `Bencher::iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up phase: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+
+        // Measurement phase: collect samples until the measurement budget is
+        // spent, with at least `sample_size` samples.
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while samples.len() < self.cfg.sample_size
+            || measure_start.elapsed() < self.cfg.measurement_time
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_nanos() as f64);
+            if samples.len() >= 4 * self.cfg.sample_size
+                && measure_start.elapsed() >= self.cfg.measurement_time
+            {
+                break;
+            }
+            // Hard cap so pathological routines cannot hang the harness.
+            if samples.len() >= 100_000 {
+                break;
+            }
+        }
+
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        self.measurement =
+            Measurement { mean_ns: mean, min_ns: min, max_ns: max, iters: samples.len() as u64 };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(full_name: &str, m: &Measurement, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{full_name:<55} time: [{} .. {} .. {}]  ({} samples)",
+        format_ns(m.min_ns),
+        format_ns(m.mean_ns),
+        format_ns(m.max_ns),
+        m.iters
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (m.mean_ns / 1.0e9)),
+            Throughput::Bytes(n) => format!("{:.0} B/s", n as f64 / (m.mean_ns / 1.0e9)),
+        };
+        line.push_str(&format!("  thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks (criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    cfg: Config,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = self.cfg.scaled(d);
+        self
+    }
+
+    /// Sets the warm-up time budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = self.cfg.scaled(d);
+        self
+    }
+
+    /// Annotates the group with a per-iteration throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.cfg);
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, name.into());
+        report(&full, &bencher.measurement, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly, so this is a marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { cfg: Config::new() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), cfg: self.cfg, throughput: None }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.cfg);
+        f(&mut bencher);
+        report(&name.into(), &bencher.measurement, None);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("NOC_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10))
+            .throughput(Throughput::Elements(100));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its result and config
+//! types but never performs actual (de)serialization inside the library code
+//! — JSON artifacts are written by hand in the bench harness. This shim keeps
+//! the derives and trait bounds compiling without the real dependency:
+//! the traits are markers with blanket implementations, and the re-exported
+//! derive macros (from the `serde_derive` shim) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker replacement for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker replacement for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Subset of `serde::de` used by the workspace.
+pub mod de {
+    /// Marker replacement for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

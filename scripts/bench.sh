@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the tracked simulator-throughput benchmark suite with fixed sample
+# counts and records the results into BENCH_sim_throughput.json at the repo
+# root. Pass --merge to append to the existing artifact (keeping earlier runs,
+# e.g. the pre-refactor baseline) instead of overwriting it.
+#
+# Usage:
+#   scripts/bench.sh [--label NAME] [--merge] [--repeats N] [--cycles N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="current"
+MERGE=""
+REPEATS=5
+CYCLES=4000
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --label) LABEL="$2"; shift 2 ;;
+        --merge) MERGE="--merge BENCH_sim_throughput.json"; shift ;;
+        --repeats) REPEATS="$2"; shift 2 ;;
+        --cycles) CYCLES="$2"; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 1 ;;
+    esac
+done
+
+cargo build --release -p noc-bench
+# shellcheck disable=SC2086
+./target/release/bench_record \
+    --label "$LABEL" \
+    --out BENCH_sim_throughput.json \
+    --repeats "$REPEATS" \
+    --cycles "$CYCLES" \
+    $MERGE

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, the complete test suite, and clippy
+# with warnings promoted to errors. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

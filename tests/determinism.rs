@@ -1,0 +1,191 @@
+//! Determinism contract of the simulator and the sweep engine.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Golden windows** — the exact [`WindowMeasurement`] sequence of the
+//!    4×4 baseline scenario `(config, uniform traffic, seed 2015)` is checked
+//!    in. Any hot-path change that alters simulated behaviour (rather than
+//!    just making it faster) trips this test; an intentional behaviour change
+//!    must update the constants below *deliberately*.
+//! 2. **Serial / parallel parity** — a multi-policy load sweep produces
+//!    bit-identical [`OperatingPointResult`]s whether the `(policy × load)`
+//!    grid runs on one thread or across all cores, because every operating
+//!    point is an independent simulation with an explicit seed.
+
+use noc_dvfs::experiments::{compare_policies_synthetic, ExperimentQuality};
+use noc_dvfs::sweep::{sweep_policies, sweep_policies_serial};
+use noc_dvfs::{ClosedLoopConfig, PolicyKind, RmsdConfig};
+use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, TrafficSpec};
+
+/// One expected measurement window (mirrors `WindowMeasurement`, minus the
+/// fields that are trivially zero in this scenario).
+struct GoldenWindow {
+    noc_cycles: u64,
+    node_cycles: u64,
+    wall_time_ps: f64,
+    flits_generated: u64,
+    flits_injected: u64,
+    packets_ejected: u64,
+    flits_ejected: u64,
+    latency_cycles_sum: u64,
+    delay_ps_sum: f64,
+}
+
+/// The 4×4 paper-style baseline used throughout the unit tests.
+fn baseline_4x4() -> NetworkConfig {
+    NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap()
+}
+
+/// Golden `WindowMeasurement` sequence for
+/// `(baseline_4x4, uniform @ 0.10 flits/cycle/node, seed 2015)`,
+/// six windows of 500 NoC cycles at the default 1 GHz clock.
+const GOLDEN_WINDOWS: [GoldenWindow; 6] = [
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 875,
+        flits_injected: 867,
+        packets_ejected: 170,
+        flits_ejected: 852,
+        latency_cycles_sum: 3249,
+        delay_ps_sum: 3249000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 770,
+        flits_injected: 776,
+        packets_ejected: 154,
+        flits_ejected: 768,
+        latency_cycles_sum: 2992,
+        delay_ps_sum: 2992000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 865,
+        flits_injected: 867,
+        packets_ejected: 172,
+        flits_ejected: 866,
+        latency_cycles_sum: 3405,
+        delay_ps_sum: 3405000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 810,
+        flits_injected: 810,
+        packets_ejected: 160,
+        flits_ejected: 803,
+        latency_cycles_sum: 3190,
+        delay_ps_sum: 3190000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 815,
+        flits_injected: 811,
+        packets_ejected: 166,
+        flits_ejected: 821,
+        latency_cycles_sum: 3214,
+        delay_ps_sum: 3214000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 905,
+        flits_injected: 905,
+        packets_ejected: 180,
+        flits_ejected: 900,
+        latency_cycles_sum: 3525,
+        delay_ps_sum: 3525000.0,
+    },
+];
+
+#[test]
+fn golden_window_sequence_is_stable() {
+    let cfg = baseline_4x4();
+    let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.10, cfg.packet_length());
+    let mut sim = NocSimulation::new(cfg, Box::new(traffic), 2015);
+    for (i, expected) in GOLDEN_WINDOWS.iter().enumerate() {
+        sim.run_cycles(500);
+        let w = sim.take_window();
+        assert_eq!(w.noc_cycles, expected.noc_cycles, "window {i}: noc_cycles");
+        assert_eq!(w.node_cycles, expected.node_cycles, "window {i}: node_cycles");
+        assert_eq!(w.wall_time_ps, expected.wall_time_ps, "window {i}: wall_time_ps");
+        assert_eq!(w.flits_generated, expected.flits_generated, "window {i}: flits_generated");
+        assert_eq!(w.flits_injected, expected.flits_injected, "window {i}: flits_injected");
+        assert_eq!(w.packets_ejected, expected.packets_ejected, "window {i}: packets_ejected");
+        assert_eq!(w.flits_ejected, expected.flits_ejected, "window {i}: flits_ejected");
+        assert_eq!(
+            w.latency_cycles_sum, expected.latency_cycles_sum,
+            "window {i}: latency_cycles_sum"
+        );
+        assert_eq!(w.delay_ps_sum, expected.delay_ps_sum, "window {i}: delay_ps_sum");
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_window_sequences() {
+    let cfg = baseline_4x4();
+    let mk = |seed: u64| {
+        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.18, 5);
+        NocSimulation::new(cfg.clone(), Box::new(traffic), seed)
+    };
+    let mut a = mk(7);
+    let mut b = mk(7);
+    for _ in 0..10 {
+        a.run_cycles(300);
+        b.run_cycles(300);
+        assert_eq!(a.take_window(), b.take_window());
+    }
+    assert_eq!(a.stats(), b.stats());
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let net = baseline_4x4();
+    let loads = [0.05, 0.10, 0.16];
+    let make: &(dyn Fn(f64) -> Box<dyn TrafficSpec> + Sync) =
+        &|load| Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, load, 5));
+    let policies =
+        [PolicyKind::NoDvfs, PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3))];
+    let loop_cfg = ClosedLoopConfig::quick();
+    let serial = sweep_policies_serial(&net, &loads, make, &policies, &loop_cfg, 2015);
+    let parallel = sweep_policies(&net, &loads, make, &policies, &loop_cfg, 2015);
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical to serial");
+}
+
+#[test]
+fn figure_driver_is_deterministic_across_invocations() {
+    // A Fig. 2-style comparison (smallest budget) run twice end to end —
+    // covers the saturation search + parallel sweep pipeline.
+    let quality = ExperimentQuality {
+        loop_cfg: ClosedLoopConfig {
+            control_period_cycles: 600,
+            warmup_intervals: 2,
+            measure_intervals: 3,
+            max_settle_intervals: 12,
+            settle_tolerance: 0.02,
+        },
+        load_points: 2,
+        saturation_probe_cycles: 3_000,
+        seed: 2015,
+    };
+    let net = baseline_4x4();
+    let a = compare_policies_synthetic("parity", &net, TrafficPattern::Uniform, &quality, None);
+    let b = compare_policies_synthetic("parity", &net, TrafficPattern::Uniform, &quality, None);
+    assert_eq!(a, b);
+}
