@@ -141,6 +141,28 @@ impl TaskGraph {
         (self.mesh_width, self.mesh_height)
     }
 
+    /// Builds the paper-baseline network configuration this application is
+    /// mapped on, with the grid dimensions of the mapping and the requested
+    /// topology kind. The traffic matrix itself is placement-based and
+    /// topology-agnostic, so the same application can be evaluated on a mesh
+    /// (as in the paper) or on a torus (shorter wrap paths for edge-mapped
+    /// tasks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`noc_sim::ConfigError`]s from the validated builder (e.g.
+    /// a torus with fewer than two virtual channels — impossible with the
+    /// baseline parameters, but kept fallible for custom builders).
+    pub fn network_config(
+        &self,
+        kind: noc_sim::TopologyKind,
+    ) -> Result<noc_sim::NetworkConfig, noc_sim::ConfigError> {
+        noc_sim::NetworkConfig::builder()
+            .mesh(self.mesh_width, self.mesh_height)
+            .topology(kind)
+            .build()
+    }
+
     /// The mapped tasks.
     pub fn tasks(&self) -> &[TaskNode] {
         &self.tasks
@@ -250,6 +272,17 @@ mod tests {
         assert_eq!(g.packets_per_frame(), 150.0);
         assert_eq!(g.task_index("b"), Some(1));
         assert_eq!(g.task_index("zz"), None);
+    }
+
+    #[test]
+    fn network_config_follows_mapping_and_topology() {
+        let g = simple_graph();
+        let mesh = g.network_config(noc_sim::TopologyKind::Mesh).unwrap();
+        assert_eq!((mesh.width(), mesh.height()), g.mesh_size());
+        assert!(!mesh.topology().is_torus());
+        let torus = g.network_config(noc_sim::TopologyKind::Torus).unwrap();
+        assert!(torus.topology().is_torus());
+        assert_eq!(torus.node_count(), 4);
     }
 
     #[test]

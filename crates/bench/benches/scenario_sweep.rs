@@ -1,0 +1,99 @@
+//! Throughput of the widened scenario engine: torus wrap routing with
+//! dateline VC classes, hotspot destinations and the Markov-modulated bursty
+//! injection process — the cost of everything the topology abstraction added
+//! on top of the paper's mesh/Bernoulli dialect, next to that baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_dvfs::scenario::{compare_policies_scenario, Scenario};
+use noc_dvfs::experiments::ExperimentQuality;
+use noc_sim::{
+    BurstyTraffic, NetworkConfig, NocSimulation, SyntheticTraffic, TopologyKind, TrafficPattern,
+    TrafficSpec,
+};
+use std::time::Duration;
+
+fn bench_scenario_throughput(c: &mut Criterion) {
+    let cycles: u64 = 2_000;
+    let mut group = c.benchmark_group("scenario_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(cycles));
+
+    let mesh = NetworkConfig::paper_baseline();
+    let torus = NetworkConfig::builder().torus(5, 5).build().unwrap();
+    type TrafficFactory = Box<dyn Fn(&NetworkConfig) -> Box<dyn TrafficSpec>>;
+    let cases: Vec<(&str, NetworkConfig, TrafficFactory)> = vec![
+        (
+            "5x5_mesh_uniform_bernoulli_heavy",
+            mesh,
+            Box::new(|cfg: &NetworkConfig| {
+                Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.35, cfg.packet_length()))
+            }),
+        ),
+        (
+            "5x5_torus_uniform_bernoulli_heavy",
+            torus.clone(),
+            Box::new(|cfg: &NetworkConfig| {
+                Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.35, cfg.packet_length()))
+            }),
+        ),
+        (
+            "5x5_torus_hotspot_bursty_heavy",
+            torus,
+            Box::new(|cfg: &NetworkConfig| {
+                Box::new(BurstyTraffic::new(
+                    TrafficPattern::Hotspot,
+                    0.35,
+                    cfg.packet_length(),
+                    200.0,
+                    4.0,
+                ))
+            }),
+        ),
+    ];
+    for (name, cfg, make_traffic) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || NocSimulation::new(cfg.clone(), make_traffic(&cfg), 1),
+                |mut sim| {
+                    sim.run_cycles(cycles);
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end wall-clock time of one quick-quality torus + hotspot + bursty
+/// three-policy comparison: saturation search plus the (policy × load) sweep.
+fn bench_scenario_regeneration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_regeneration");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    let base = NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap();
+    group.bench_function("torus_hotspot_bursty_quick", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot).bursty();
+            let cmp =
+                compare_policies_scenario(&base, scenario, &ExperimentQuality::quick()).unwrap();
+            assert_eq!(cmp.curves.len(), 3);
+            cmp
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_throughput, bench_scenario_regeneration);
+criterion_main!(benches);

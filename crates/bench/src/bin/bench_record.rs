@@ -14,7 +14,9 @@
 //! accumulates a perf trajectory across PRs.
 
 use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
-use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern};
+use noc_sim::{
+    BurstyTraffic, NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, TrafficSpec,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -25,11 +27,16 @@ struct CaseResult {
     cycles_per_sec: f64,
 }
 
-fn time_sim_case(name: &str, cfg: &NetworkConfig, rate: f64, cycles: u64, repeats: usize) -> CaseResult {
+fn time_sim_case(
+    name: &str,
+    cfg: &NetworkConfig,
+    make_traffic: &dyn Fn(&NetworkConfig) -> Box<dyn TrafficSpec>,
+    cycles: u64,
+    repeats: usize,
+) -> CaseResult {
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
-        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, rate, cfg.packet_length());
-        let mut sim = NocSimulation::new(cfg.clone(), Box::new(traffic), 1);
+        let mut sim = NocSimulation::new(cfg.clone(), make_traffic(cfg), 1);
         // Warm the allocators/buffers before timing.
         sim.run_cycles(cycles / 10);
         let t0 = Instant::now();
@@ -127,16 +134,40 @@ fn main() {
         }
     }
 
-    let cases = [
-        ("5x5_paper_baseline_light_load", NetworkConfig::paper_baseline(), 0.05),
-        ("5x5_paper_baseline_heavy_load", NetworkConfig::paper_baseline(), 0.35),
-        ("8x8_mesh_light_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), 0.05),
-        ("8x8_mesh_heavy_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), 0.35),
+    let uniform = |rate: f64| {
+        move |cfg: &NetworkConfig| -> Box<dyn TrafficSpec> {
+            Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, rate, cfg.packet_length()))
+        }
+    };
+    // The new scenario axis, tracked alongside the historical mesh cases:
+    // wrap-around links + dateline VC classes + hotspot + MMP injection.
+    let torus_hotspot_bursty = |rate: f64| {
+        move |cfg: &NetworkConfig| -> Box<dyn TrafficSpec> {
+            Box::new(BurstyTraffic::new(
+                TrafficPattern::Hotspot,
+                rate,
+                cfg.packet_length(),
+                200.0,
+                4.0,
+            ))
+        }
+    };
+    type TrafficFactory = Box<dyn Fn(&NetworkConfig) -> Box<dyn TrafficSpec>>;
+    let cases: Vec<(&str, NetworkConfig, TrafficFactory)> = vec![
+        ("5x5_paper_baseline_light_load", NetworkConfig::paper_baseline(), Box::new(uniform(0.05))),
+        ("5x5_paper_baseline_heavy_load", NetworkConfig::paper_baseline(), Box::new(uniform(0.35))),
+        ("8x8_mesh_light_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), Box::new(uniform(0.05))),
+        ("8x8_mesh_heavy_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), Box::new(uniform(0.35))),
+        (
+            "5x5_torus_hotspot_bursty_heavy_load",
+            NetworkConfig::builder().torus(5, 5).build().unwrap(),
+            Box::new(torus_hotspot_bursty(0.35)),
+        ),
     ];
 
     let mut results = Vec::new();
-    for (name, cfg, rate) in cases {
-        let r = time_sim_case(name, &cfg, rate, cycles, repeats);
+    for (name, cfg, make_traffic) in &cases {
+        let r = time_sim_case(name, cfg, make_traffic.as_ref(), cycles, repeats);
         eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
         results.push(r);
     }

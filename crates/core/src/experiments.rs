@@ -24,7 +24,7 @@ use crate::saturation::{find_saturation_load, find_saturation_rate};
 use crate::sweep::{load_grid, sweep_policies, PolicyCurve};
 use noc_apps::{h264_encoder, video_conference_encoder, TaskGraph};
 use noc_power::{FdsoiTech, OperatingPoint};
-use noc_sim::{NetworkConfig, SyntheticTraffic, TrafficPattern, TrafficSpec};
+use noc_sim::{NetworkConfig, SyntheticTraffic, TopologyKind, TrafficPattern, TrafficSpec};
 use serde::{Deserialize, Serialize};
 
 /// The delay target used by DMSD throughout the paper (Fig. 4: 150 ns, chosen
@@ -117,7 +117,7 @@ impl PolicyComparison {
 }
 
 /// The standard policy set of the paper's comparisons.
-fn standard_policies(lambda_max: f64) -> Vec<PolicyKind> {
+pub(crate) fn standard_policies(lambda_max: f64) -> Vec<PolicyKind> {
     vec![
         PolicyKind::NoDvfs,
         PolicyKind::Rmsd(RmsdConfig::with_lambda_max(lambda_max)),
@@ -305,19 +305,25 @@ pub fn fig8_sensitivity(
     out
 }
 
-/// Builds the network configuration an application graph is mapped on.
-fn app_network(graph: &TaskGraph) -> NetworkConfig {
-    let (w, h) = graph.mesh_size();
-    NetworkConfig::builder().mesh(w, h).build().expect("application meshes are valid")
-}
-
-/// Runs a three-policy comparison for an application task graph, sweeping the
-/// application speed (Fig. 10's x axis, 1.0 ≙ 75 frames/s).
+/// Runs a three-policy comparison for an application task graph on the
+/// paper's mesh mapping, sweeping the application speed (Fig. 10's x axis,
+/// 1.0 ≙ 75 frames/s).
 pub fn compare_policies_application(
     graph: &TaskGraph,
     quality: &ExperimentQuality,
 ) -> PolicyComparison {
-    let net = app_network(graph);
+    compare_policies_application_on(graph, TopologyKind::Mesh, quality)
+}
+
+/// [`compare_policies_application`] generalized over the topology axis: the
+/// same application mapping evaluated on a mesh or on a torus (wrap links
+/// shorten the paths of edge-mapped task pairs).
+pub fn compare_policies_application_on(
+    graph: &TaskGraph,
+    topology: TopologyKind,
+    quality: &ExperimentQuality,
+) -> PolicyComparison {
+    let net = graph.network_config(topology).expect("application grids are valid");
     let packet_length = net.packet_length();
     let graph_for_factory = graph.clone();
     let factory = move |speed: f64| -> Box<dyn TrafficSpec> {
@@ -338,7 +344,11 @@ pub fn compare_policies_application(
     let policies = standard_policies(lambda_max);
     let curves =
         sweep_policies(&net, &loads, &factory, &policies, &quality.loop_cfg, quality.seed);
-    PolicyComparison { label: graph.name().to_string(), lambda_max, curves }
+    let label = match topology {
+        TopologyKind::Mesh => graph.name().to_string(),
+        TopologyKind::Torus => format!("{}/torus", graph.name()),
+    };
+    PolicyComparison { label, lambda_max, curves }
 }
 
 /// Fig. 10: delay and power of the H.264 encoder (4×4 mesh) and the Video
@@ -451,6 +461,19 @@ mod tests {
         let rmsd = cmp.curve("RMSD").unwrap().powers_mw();
         for (b, r) in baseline.iter().zip(rmsd.iter()) {
             assert!(r <= b, "RMSD ({r} mW) must not consume more than No-DVFS ({b} mW)");
+        }
+    }
+
+    #[test]
+    fn application_comparison_runs_on_the_h264_torus() {
+        let q = tiny_quality();
+        let cmp = compare_policies_application_on(&h264_encoder(), TopologyKind::Torus, &q);
+        assert_eq!(cmp.label, "h264/torus");
+        assert_eq!(cmp.curves.len(), 3);
+        for curve in &cmp.curves {
+            for p in &curve.points {
+                assert!(p.result.packets_delivered > 0, "every point must deliver packets");
+            }
         }
     }
 

@@ -62,6 +62,7 @@ pub mod pi;
 pub mod policy;
 pub mod rmsd;
 pub mod saturation;
+pub mod scenario;
 pub mod summary;
 pub mod sweep;
 
@@ -71,5 +72,8 @@ pub use pi::PiController;
 pub use policy::{ControlMeasurement, DvfsPolicy, NoDvfs, PolicyKind};
 pub use rmsd::{Rmsd, RmsdConfig};
 pub use saturation::find_saturation_rate;
+pub use scenario::{
+    compare_policies_scenario, scenario_grid, sweep_scenario_grid, InjectionProcess, Scenario,
+};
 pub use summary::TradeOffSummary;
 pub use sweep::{PolicyCurve, SweepPoint};

@@ -1,0 +1,324 @@
+//! Scenario grids: the topology × pattern × injection-process axis.
+//!
+//! The paper's figures fix one scenario family (2D mesh, Bernoulli
+//! injection, five patterns). This module widens the experiment space into a
+//! cross product of
+//!
+//! * **topology** — mesh or torus ([`TopologyKind`]),
+//! * **pattern** — any [`TrafficPattern`], including the hotspot/shuffle/
+//!   bit-reverse extensions,
+//! * **injection process** — Bernoulli or two-state bursty
+//!   ([`InjectionProcess`]),
+//!
+//! so that a DVFS-policy claim can be checked far beyond Fig. 2–4. Every
+//! scenario reuses the generic sweep machinery ([`crate::sweep`]), so the
+//! serial and parallel executors stay bit-identical per scenario.
+
+use crate::closed_loop::ClosedLoopConfig;
+use crate::experiments::{ExperimentQuality, PolicyComparison, PAPER_LAMBDA_MAX_MARGIN};
+use crate::policy::PolicyKind;
+use crate::saturation::find_saturation_load;
+use crate::sweep::{load_grid, sweep_policies, sweep_policies_serial, PolicyCurve};
+use noc_sim::{
+    BurstyTraffic, ConfigError, NetworkConfig, SyntheticTraffic, TopologyKind, TrafficPattern,
+    TrafficSpec,
+};
+use serde::{Deserialize, Serialize};
+
+/// How packets are released over time at each node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectionProcess {
+    /// Memoryless Bernoulli injection (the paper's process).
+    Bernoulli,
+    /// Two-state Markov-modulated ON/OFF injection (see
+    /// [`BurstyTraffic`]).
+    Bursty {
+        /// Mean burst (ON-state) duration in node cycles.
+        avg_burst_cycles: f64,
+        /// Peak-to-average injection-rate ratio while ON.
+        burst_factor: f64,
+    },
+}
+
+impl InjectionProcess {
+    /// The default bursty parameterization used by the scenario grids:
+    /// 200-cycle bursts at 4× the average rate.
+    pub fn default_bursty() -> Self {
+        InjectionProcess::Bursty { avg_burst_cycles: 200.0, burst_factor: 4.0 }
+    }
+
+    /// A short lowercase name for labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InjectionProcess::Bernoulli => "bernoulli",
+            InjectionProcess::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+/// One point of the scenario grid: topology, pattern and injection process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Mesh or torus.
+    pub topology: TopologyKind,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Packet release process.
+    pub injection: InjectionProcess,
+}
+
+impl Scenario {
+    /// A Bernoulli scenario (the paper's injection process).
+    pub fn new(topology: TopologyKind, pattern: TrafficPattern) -> Self {
+        Scenario { topology, pattern, injection: InjectionProcess::Bernoulli }
+    }
+
+    /// The same scenario with the default bursty injection process.
+    pub fn bursty(self) -> Self {
+        Scenario { injection: InjectionProcess::default_bursty(), ..self }
+    }
+
+    /// A `topology/pattern/process` label for figures and reports, e.g.
+    /// `"torus/hotspot/bursty"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.topology.name(), self.pattern.name(), self.injection.name())
+    }
+
+    /// Rebuilds `base` with this scenario's topology (all other
+    /// micro-architectural parameters kept) and validates the pattern on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`]s: torus needing ≥2 VCs, transpose needing a
+    /// square grid, bit permutations needing a power-of-two node count.
+    pub fn network(&self, base: &NetworkConfig) -> Result<NetworkConfig, ConfigError> {
+        let net = base.to_builder().topology(self.topology).build()?;
+        net.validate_pattern(self.pattern)?;
+        Ok(net)
+    }
+
+    /// Builds the traffic source for one load level on `net`.
+    pub fn traffic(&self, net: &NetworkConfig, load: f64) -> Box<dyn TrafficSpec> {
+        match self.injection {
+            InjectionProcess::Bernoulli => {
+                Box::new(SyntheticTraffic::new(self.pattern, load, net.packet_length()))
+            }
+            InjectionProcess::Bursty { avg_burst_cycles, burst_factor } => Box::new(
+                BurstyTraffic::new(
+                    self.pattern,
+                    load,
+                    net.packet_length(),
+                    avg_burst_cycles,
+                    burst_factor,
+                ),
+            ),
+        }
+    }
+}
+
+/// The full cross product of topologies × patterns valid on `base`'s
+/// dimensions, in Bernoulli and (when `include_bursty`) bursty flavours.
+/// Invalid combinations (e.g. shuffle on 25 nodes) are silently skipped —
+/// they are rejected configurations, not errors of the grid.
+pub fn scenario_grid(base: &NetworkConfig, include_bursty: bool) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for topology in TopologyKind::ALL {
+        for pattern in TrafficPattern::ALL {
+            let scenario = Scenario::new(topology, pattern);
+            if scenario.network(base).is_err() {
+                continue;
+            }
+            out.push(scenario);
+            if include_bursty {
+                out.push(scenario.bursty());
+            }
+        }
+    }
+    out
+}
+
+/// The standard No-DVFS / RMSD / DMSD policy set over one scenario: the
+/// scenario analogue of
+/// [`compare_policies_synthetic`](crate::experiments::compare_policies_synthetic).
+///
+/// The saturation point is searched with the scenario's own injection
+/// process, so bursty sweeps get a bursty-aware `λ_max`.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] when the scenario is invalid on `base`'s
+/// dimensions (see [`Scenario::network`]).
+pub fn compare_policies_scenario(
+    base: &NetworkConfig,
+    scenario: Scenario,
+    quality: &ExperimentQuality,
+) -> Result<PolicyComparison, ConfigError> {
+    let net = scenario.network(base)?;
+    let factory = |load: f64| scenario.traffic(&net, load);
+    let estimate =
+        find_saturation_load(&net, &factory, 1.0, quality.saturation_probe_cycles, quality.seed);
+    let lambda_max = PAPER_LAMBDA_MAX_MARGIN * estimate.load.max(1e-6);
+    let policies = crate::experiments::standard_policies(lambda_max);
+    let loads = load_grid(0.1 * lambda_max, lambda_max, quality.load_points);
+    let curves = sweep_scenario(&net, scenario, &loads, &policies, &quality.loop_cfg, quality.seed);
+    Ok(PolicyComparison { label: scenario.label(), lambda_max, curves })
+}
+
+/// Runs every scenario of `scenarios` on `base`, skipping none: the caller
+/// builds the grid with [`scenario_grid`], which already filters invalid
+/// combinations.
+///
+/// # Panics
+///
+/// Panics if a scenario is invalid on `base` (grids from [`scenario_grid`]
+/// never are).
+pub fn sweep_scenario_grid(
+    base: &NetworkConfig,
+    scenarios: &[Scenario],
+    quality: &ExperimentQuality,
+) -> Vec<PolicyComparison> {
+    scenarios
+        .iter()
+        .map(|&s| {
+            compare_policies_scenario(base, s, quality)
+                .unwrap_or_else(|e| panic!("invalid scenario {}: {e}", s.label()))
+        })
+        .collect()
+}
+
+/// Parallel multi-policy sweep of one scenario over explicit loads (used by
+/// the figure drivers above and directly by parity tests).
+pub fn sweep_scenario(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<PolicyCurve> {
+    let factory = |load: f64| scenario.traffic(net, load);
+    sweep_policies(net, loads, &factory, policies, loop_cfg, seed)
+}
+
+/// Serial reference implementation of [`sweep_scenario`] — bit-identical
+/// results, used by the parity tests.
+pub fn sweep_scenario_serial(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<PolicyCurve> {
+    let factory = |load: f64| scenario.traffic(net, load);
+    sweep_policies_serial(net, loads, &factory, policies, loop_cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> NetworkConfig {
+        NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .build()
+            .unwrap()
+    }
+
+    fn tiny_quality() -> ExperimentQuality {
+        ExperimentQuality {
+            loop_cfg: ClosedLoopConfig {
+                control_period_cycles: 800,
+                warmup_intervals: 3,
+                measure_intervals: 6,
+                max_settle_intervals: 16,
+                settle_tolerance: 0.02,
+            },
+            load_points: 2,
+            saturation_probe_cycles: 3_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn labels_and_constructors_compose() {
+        let s = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot).bursty();
+        assert_eq!(s.label(), "torus/hotspot/bursty");
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform);
+        assert_eq!(s.label(), "mesh/uniform/bernoulli");
+    }
+
+    #[test]
+    fn scenario_network_keeps_microarchitecture_and_swaps_topology() {
+        let base = small_base();
+        let s = Scenario::new(TopologyKind::Torus, TrafficPattern::Uniform);
+        let net = s.network(&base).unwrap();
+        assert!(net.topology().is_torus());
+        assert_eq!(net.virtual_channels(), base.virtual_channels());
+        assert_eq!(net.packet_length(), base.packet_length());
+    }
+
+    #[test]
+    fn invalid_scenarios_surface_config_errors() {
+        let rect = NetworkConfig::builder().mesh(5, 4).build().unwrap();
+        let transpose = Scenario::new(TopologyKind::Mesh, TrafficPattern::Transpose);
+        assert!(matches!(
+            transpose.network(&rect),
+            Err(ConfigError::PatternNeedsSquare { .. })
+        ));
+        let shuffle = Scenario::new(TopologyKind::Torus, TrafficPattern::Shuffle);
+        assert!(matches!(
+            shuffle.network(&rect),
+            Err(ConfigError::PatternNeedsPowerOfTwoNodes { .. })
+        ));
+        let one_vc = NetworkConfig::builder().mesh(4, 4).virtual_channels(1).build().unwrap();
+        let torus = Scenario::new(TopologyKind::Torus, TrafficPattern::Uniform);
+        assert!(matches!(torus.network(&one_vc), Err(ConfigError::TorusNeedsVcClasses { .. })));
+    }
+
+    #[test]
+    fn grid_covers_both_topologies_and_filters_invalid_patterns() {
+        // 4x4 (16 nodes, square, power of two): every pattern is valid on
+        // both topologies.
+        let grid = scenario_grid(&small_base(), false);
+        assert_eq!(grid.len(), 2 * TrafficPattern::ALL.len());
+        // 5x5: shuffle and bitrev drop out, transpose stays (square).
+        let base5 = NetworkConfig::paper_baseline();
+        let grid5 = scenario_grid(&base5, false);
+        assert_eq!(grid5.len(), 2 * (TrafficPattern::ALL.len() - 2));
+        // Bursty doubles the grid.
+        assert_eq!(scenario_grid(&small_base(), true).len(), 4 * TrafficPattern::ALL.len());
+    }
+
+    #[test]
+    fn torus_hotspot_bursty_comparison_runs_end_to_end() {
+        let q = tiny_quality();
+        let scenario = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot).bursty();
+        let cmp = compare_policies_scenario(&small_base(), scenario, &q).unwrap();
+        assert_eq!(cmp.label, "torus/hotspot/bursty");
+        assert_eq!(cmp.curves.len(), 3);
+        assert!(cmp.lambda_max > 0.0);
+        for curve in &cmp.curves {
+            assert_eq!(curve.points.len(), q.load_points);
+            for p in &curve.points {
+                assert!(p.result.packets_delivered > 0, "every point must deliver packets");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_serial_parallel_parity() {
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Torus, TrafficPattern::Tornado).bursty();
+        let net = scenario.network(&base).unwrap();
+        let loads = [0.05, 0.12];
+        let policies = vec![PolicyKind::NoDvfs];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let parallel = sweep_scenario(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        let serial = sweep_scenario_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(parallel, serial);
+    }
+}

@@ -6,6 +6,8 @@
 //! frequency range of the NoC clock and the fixed node-clock frequency.
 
 use crate::error::ConfigError;
+use crate::topology::{Topology, TopologyKind};
+use crate::traffic::{SyntheticTraffic, TrafficPattern};
 use crate::units::Hertz;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +39,7 @@ pub const DEFAULT_MAX_FREQUENCY_HZ: f64 = 1.0e9;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
+    topology: TopologyKind,
     width: usize,
     height: usize,
     virtual_channels: usize,
@@ -61,6 +64,16 @@ impl NetworkConfig {
     /// (Figs. 2, 4 and 6): 5×5 mesh, 8 VCs, 4 buffers per VC, 20-flit packets.
     pub fn paper_baseline() -> NetworkConfig {
         NetworkConfig::builder().build().expect("paper baseline configuration is valid")
+    }
+
+    /// Whether the grid is an open mesh or a wrap-around torus.
+    pub fn topology_kind(&self) -> TopologyKind {
+        self.topology
+    }
+
+    /// The grid described by this configuration.
+    pub fn topology(&self) -> Topology {
+        Topology::with_kind(self.topology, self.width, self.height)
     }
 
     /// Mesh width (number of columns).
@@ -103,6 +116,54 @@ impl NetworkConfig {
         self.credit_latency
     }
 
+    /// Checks that a synthetic traffic pattern is well-defined on this
+    /// configuration's grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same rejections as [`TrafficPattern::validate_for`]:
+    /// transpose on a non-square grid, bit permutations on a non-power-of-two
+    /// node count.
+    pub fn validate_pattern(&self, pattern: TrafficPattern) -> Result<(), ConfigError> {
+        pattern.validate_for(&self.topology())
+    }
+
+    /// Builds a validated Bernoulli source for `pattern` at `injection_rate`
+    /// flits per node cycle, using this configuration's packet length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the pattern is undefined on this grid
+    /// (see [`validate_pattern`](Self::validate_pattern)) — the checked
+    /// alternative to constructing a [`SyntheticTraffic`] directly and
+    /// hitting a silent no-inject or a runtime panic later.
+    pub fn synthetic_traffic(
+        &self,
+        pattern: TrafficPattern,
+        injection_rate: f64,
+    ) -> Result<SyntheticTraffic, ConfigError> {
+        self.validate_pattern(pattern)?;
+        Ok(SyntheticTraffic::new(pattern, injection_rate, self.packet_length))
+    }
+
+    /// A builder pre-loaded with this configuration's values (for deriving
+    /// variants, e.g. the same micro-architecture on a different topology).
+    pub fn to_builder(&self) -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            topology: self.topology,
+            width: self.width,
+            height: self.height,
+            virtual_channels: self.virtual_channels,
+            buffer_depth: self.buffer_depth,
+            packet_length: self.packet_length,
+            link_latency: self.link_latency,
+            credit_latency: self.credit_latency,
+            node_frequency_hz: self.node_frequency_hz,
+            min_frequency_hz: self.min_frequency_hz,
+            max_frequency_hz: self.max_frequency_hz,
+        }
+    }
+
     /// Fixed frequency of the injecting nodes.
     pub fn node_frequency(&self) -> Hertz {
         Hertz::new(self.node_frequency_hz)
@@ -128,6 +189,7 @@ impl Default for NetworkConfig {
 /// Builder for [`NetworkConfig`].
 #[derive(Debug, Clone)]
 pub struct NetworkConfigBuilder {
+    topology: TopologyKind,
     width: usize,
     height: usize,
     virtual_channels: usize,
@@ -144,6 +206,7 @@ impl NetworkConfigBuilder {
     /// Creates a builder pre-loaded with the paper's baseline parameters.
     pub fn new() -> Self {
         NetworkConfigBuilder {
+            topology: TopologyKind::Mesh,
             width: 5,
             height: 5,
             virtual_channels: 8,
@@ -157,10 +220,25 @@ impl NetworkConfigBuilder {
         }
     }
 
-    /// Sets the mesh dimensions (columns × rows).
+    /// Sets an open-mesh grid of the given dimensions (columns × rows).
     pub fn mesh(mut self, width: usize, height: usize) -> Self {
+        self.topology = TopologyKind::Mesh;
         self.width = width;
         self.height = height;
+        self
+    }
+
+    /// Sets a wrap-around torus grid of the given dimensions.
+    pub fn torus(mut self, width: usize, height: usize) -> Self {
+        self.topology = TopologyKind::Torus;
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Sets the topology kind, keeping the current dimensions.
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = kind;
         self
     }
 
@@ -227,6 +305,11 @@ impl NetworkConfigBuilder {
         if self.packet_length == 0 {
             return Err(ConfigError::EmptyPacket);
         }
+        if self.topology == TopologyKind::Torus && self.virtual_channels < 2 {
+            return Err(ConfigError::TorusNeedsVcClasses {
+                virtual_channels: self.virtual_channels,
+            });
+        }
         if self.min_frequency_hz > self.max_frequency_hz {
             return Err(ConfigError::InvalidFrequencyRange {
                 min_hz: self.min_frequency_hz,
@@ -234,6 +317,7 @@ impl NetworkConfigBuilder {
             });
         }
         Ok(NetworkConfig {
+            topology: self.topology,
             width: self.width,
             height: self.height,
             virtual_channels: self.virtual_channels,
@@ -337,6 +421,78 @@ mod tests {
         let cfg = NetworkConfig::builder().link_latency(0).credit_latency(0).build().unwrap();
         assert_eq!(cfg.link_latency(), 1);
         assert_eq!(cfg.credit_latency(), 1);
+    }
+
+    #[test]
+    fn torus_builder_produces_a_torus_topology() {
+        let cfg = NetworkConfig::builder().torus(4, 4).build().unwrap();
+        assert_eq!(cfg.topology_kind(), TopologyKind::Torus);
+        assert!(cfg.topology().is_torus());
+        assert_eq!(cfg.topology().node_count(), 16);
+        // `.mesh` resets the kind; `.topology` flips it back in place.
+        let cfg = NetworkConfig::builder().torus(4, 4).mesh(4, 4).build().unwrap();
+        assert_eq!(cfg.topology_kind(), TopologyKind::Mesh);
+        let cfg =
+            NetworkConfig::builder().mesh(4, 4).topology(TopologyKind::Torus).build().unwrap();
+        assert!(cfg.topology().is_torus());
+    }
+
+    #[test]
+    fn builder_rejects_torus_without_vc_classes() {
+        let err = NetworkConfig::builder().torus(4, 4).virtual_channels(1).build().unwrap_err();
+        assert_eq!(err, ConfigError::TorusNeedsVcClasses { virtual_channels: 1 });
+        // The same single-VC configuration is fine on a mesh.
+        assert!(NetworkConfig::builder().mesh(4, 4).virtual_channels(1).build().is_ok());
+    }
+
+    #[test]
+    fn pattern_validation_surfaces_config_errors() {
+        use crate::traffic::TrafficPattern;
+        let rect = NetworkConfig::builder().mesh(5, 4).build().unwrap();
+        assert_eq!(
+            rect.validate_pattern(TrafficPattern::Transpose),
+            Err(ConfigError::PatternNeedsSquare { pattern: "transpose", width: 5, height: 4 })
+        );
+        assert!(rect.validate_pattern(TrafficPattern::Uniform).is_ok());
+        let five = NetworkConfig::paper_baseline();
+        assert_eq!(
+            five.validate_pattern(TrafficPattern::Shuffle),
+            Err(ConfigError::PatternNeedsPowerOfTwoNodes { pattern: "shuffle", nodes: 25 })
+        );
+        assert_eq!(
+            five.validate_pattern(TrafficPattern::BitReverse),
+            Err(ConfigError::PatternNeedsPowerOfTwoNodes { pattern: "bitrev", nodes: 25 })
+        );
+        let square = NetworkConfig::builder().mesh(4, 4).build().unwrap();
+        for pattern in TrafficPattern::ALL {
+            assert!(square.validate_pattern(pattern).is_ok(), "{} on 4x4", pattern.name());
+        }
+    }
+
+    #[test]
+    fn synthetic_traffic_constructor_checks_the_pattern() {
+        use crate::traffic::TrafficPattern;
+        let rect = NetworkConfig::builder().mesh(5, 4).build().unwrap();
+        assert!(rect.synthetic_traffic(TrafficPattern::Transpose, 0.1).is_err());
+        let ok = rect.synthetic_traffic(TrafficPattern::Hotspot, 0.1).unwrap();
+        assert_eq!(ok.pattern(), TrafficPattern::Hotspot);
+        assert_eq!(ok.injection_rate(), 0.1);
+    }
+
+    #[test]
+    fn to_builder_round_trips_every_field() {
+        let cfg = NetworkConfig::builder()
+            .torus(6, 3)
+            .virtual_channels(4)
+            .buffer_depth(8)
+            .packet_length(10)
+            .link_latency(2)
+            .credit_latency(3)
+            .node_frequency(Hertz::from_ghz(2.0))
+            .frequency_range(Hertz::from_mhz(250.0), Hertz::from_ghz(2.0))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
     }
 
     #[test]

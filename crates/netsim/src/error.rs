@@ -29,6 +29,29 @@ pub enum ConfigError {
         /// Maximum frequency in Hz.
         max_hz: f64,
     },
+    /// A torus needs at least two virtual channels per port so that the
+    /// dateline deadlock-avoidance scheme has two VC classes to work with.
+    TorusNeedsVcClasses {
+        /// The requested number of virtual channels.
+        virtual_channels: usize,
+    },
+    /// The traffic pattern is only defined on square grids.
+    PatternNeedsSquare {
+        /// Short name of the offending pattern.
+        pattern: &'static str,
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// The traffic pattern is a bit permutation and needs a power-of-two node
+    /// count.
+    PatternNeedsPowerOfTwoNodes {
+        /// Short name of the offending pattern.
+        pattern: &'static str,
+        /// The requested node count.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -45,6 +68,19 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidFrequencyRange { min_hz, max_hz } => {
                 write!(f, "invalid frequency range: min {min_hz} Hz exceeds max {max_hz} Hz")
             }
+            ConfigError::TorusNeedsVcClasses { virtual_channels } => write!(
+                f,
+                "a torus needs at least 2 virtual channels for dateline deadlock \
+                 avoidance, got {virtual_channels}"
+            ),
+            ConfigError::PatternNeedsSquare { pattern, width, height } => write!(
+                f,
+                "traffic pattern '{pattern}' is only defined on square grids, got {width}x{height}"
+            ),
+            ConfigError::PatternNeedsPowerOfTwoNodes { pattern, nodes } => write!(
+                f,
+                "traffic pattern '{pattern}' needs a power-of-two node count, got {nodes} nodes"
+            ),
         }
     }
 }
@@ -67,6 +103,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn pattern_and_torus_messages_name_the_culprit() {
+        let e = ConfigError::PatternNeedsSquare { pattern: "transpose", width: 5, height: 4 };
+        assert!(e.to_string().contains("transpose"));
+        assert!(e.to_string().contains("5x4"));
+        let e = ConfigError::PatternNeedsPowerOfTwoNodes { pattern: "shuffle", nodes: 25 };
+        assert!(e.to_string().contains("shuffle"));
+        assert!(e.to_string().contains("25"));
+        let e = ConfigError::TorusNeedsVcClasses { virtual_channels: 1 };
+        assert!(e.to_string().contains("dateline"));
     }
 
     #[test]

@@ -43,14 +43,14 @@
 //! | [`units`] | frequency / time / rate newtypes | — |
 //! | [`config`] | [`NetworkConfig`] and its builder | — |
 //! | [`flit`] | flits, packets and their identifiers | 40-byte `Copy` [`Flit`]; serde gated behind `flit-serde` |
-//! | [`topology`] | 2D mesh geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
-//! | [`routing`] | dimension-ordered (XY) routing | invoked once per head flit, not per flit |
+//! | [`topology`] | 2D mesh / torus geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
+//! | [`routing`] | dimension-ordered (XY/YX) routing, torus datelines | invoked once per head flit, not per flit |
 //! | [`buffer`] | per-VC FIFO buffers | capacity fixed at construction; never reallocates |
 //! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
 //! | [`allocator`] | separable input-first allocator | single pass over requests; persistent scratch, zero allocation per round |
 //! | [`router`] | the VC router pipeline (RC → VA → SA → ST) | flat VC arrays + per-port state bitmasks; appends into a caller-owned [`TraversalOutput`](router::TraversalOutput) |
 //! | [`link`] | inter-router flit and credit channels | callback delivery ([`DelayChannel::deliver`](link::DelayChannel::deliver)), no per-cycle `Vec` |
-//! | [`traffic`] | synthetic patterns and traffic matrices | — |
+//! | [`traffic`] | synthetic patterns, bursty sources and traffic matrices | — |
 //! | [`source`] | node-clock-driven packet generation | clone-free injection ([`Source::try_inject`](source::Source::try_inject)) |
 //! | [`sink`] | ejection and per-packet recording | flat counters, no per-packet map |
 //! | [`activity`] | switching-activity counters for power estimation | — |
@@ -114,9 +114,9 @@ pub use clock::DualClock;
 pub use config::{NetworkConfig, NetworkConfigBuilder};
 pub use error::ConfigError;
 pub use flit::{Flit, FlitKind, PacketId};
-pub use routing::{RoutingAlgorithm, XyRouting};
+pub use routing::{RoutingAlgorithm, XyRouting, YxRouting};
 pub use sim::{NocSimulation, WindowMeasurement};
 pub use stats::{PacketRecord, SimStats};
-pub use topology::{Direction, Mesh2d};
-pub use traffic::{MatrixTraffic, SyntheticTraffic, TrafficPattern, TrafficSpec};
+pub use topology::{Direction, Mesh2d, Topology, TopologyKind};
+pub use traffic::{BurstyTraffic, MatrixTraffic, SyntheticTraffic, TrafficPattern, TrafficSpec};
 pub use units::{Cycles, FlitsPerCycle, Hertz, Picoseconds};

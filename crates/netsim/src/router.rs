@@ -19,7 +19,7 @@ use crate::buffer::VcBuffer;
 use crate::config::NetworkConfig;
 use crate::flit::Flit;
 use crate::routing::RoutingAlgorithm;
-use crate::topology::{Mesh2d, PORT_COUNT};
+use crate::topology::{Topology, TopologyKind, PORT_COUNT};
 
 /// Port index of the local (injection/ejection) port.
 pub const LOCAL_PORT: usize = 4;
@@ -46,11 +46,19 @@ struct InputVc {
     out_port: Option<u8>,
     /// Downstream VC assigned by VA.
     out_vc: Option<u8>,
+    /// Dateline VC class required downstream (set by RC; always 0 on a mesh).
+    next_class: u8,
 }
 
 impl InputVc {
     fn new(depth: usize) -> Self {
-        InputVc { state: VcState::Idle, buffer: VcBuffer::new(depth), out_port: None, out_vc: None }
+        InputVc {
+            state: VcState::Idle,
+            buffer: VcBuffer::new(depth),
+            out_port: None,
+            out_vc: None,
+            next_class: 0,
+        }
     }
 }
 
@@ -147,6 +155,12 @@ pub struct Router {
     active_mask: [u64; PORT_COUNT],
     /// Per-port bitmask of output VCs *not* allocated to a packet.
     free_out_mask: [u64; PORT_COUNT],
+    /// Dateline VC-class masks: `class_masks[c]` is the set of output VCs a
+    /// packet in class `c` may be assigned on an inter-router link. On a mesh
+    /// both masks cover every VC (no restriction); on a torus class 0 owns
+    /// the lower half and class 1 the upper half, which breaks the in-ring
+    /// channel-dependency cycles of wrap-around routes.
+    class_masks: [u64; 2],
     activity: RouterActivity,
     /// Total flits currently buffered (kept incrementally so that idle
     /// routers can skip their pipeline stages cheaply).
@@ -171,6 +185,16 @@ impl Router {
         let outputs =
             (0..PORT_COUNT * vcs).map(|_| OutputVc { credits: depth, allocated: false }).collect();
         let all_vcs_free = if vcs == 64 { u64::MAX } else { (1u64 << vcs) - 1 };
+        let class_masks = match cfg.topology_kind() {
+            TopologyKind::Mesh => [all_vcs_free, all_vcs_free],
+            TopologyKind::Torus => {
+                // Class 0 carries the bulk of the traffic (everything before
+                // a dateline crossing), so it gets the larger share when the
+                // VC count is odd. `NetworkConfig` guarantees vcs >= 2.
+                let low = (1u64 << vcs.div_ceil(2)) - 1;
+                [low, all_vcs_free & !low]
+            }
+        };
         Router {
             node,
             vcs,
@@ -183,6 +207,7 @@ impl Router {
             va_mask: [0; PORT_COUNT],
             active_mask: [0; PORT_COUNT],
             free_out_mask: [all_vcs_free; PORT_COUNT],
+            class_masks,
             activity: RouterActivity::new(),
             buffered: 0,
             requests: Vec::with_capacity(PORT_COUNT * vcs),
@@ -266,9 +291,10 @@ impl Router {
         self.outputs[out_port * self.vcs + vc].credits += 1;
     }
 
-    /// Route-computation stage: resolves the output port of every head flit
-    /// waiting in the `Routing` state.
-    pub fn rc_stage(&mut self, mesh: &Mesh2d, routing: &dyn RoutingAlgorithm) {
+    /// Route-computation stage: resolves the output port (and, on a torus,
+    /// the dateline VC class) of every head flit waiting in the `Routing`
+    /// state.
+    pub fn rc_stage(&mut self, topo: &Topology, routing: &dyn RoutingAlgorithm) {
         if self.buffered == 0 {
             return;
         }
@@ -290,8 +316,10 @@ impl Router {
                     .front()
                     .expect("a VC in Routing state must have a head flit buffered");
                 debug_assert!(head.kind.is_head());
-                let dir = routing.route(mesh, self.node, head.dst());
+                let dir = routing.route(topo, self.node, head.dst());
                 input.out_port = Some(dir.index() as u8);
+                input.next_class =
+                    routing.next_vc_class(topo, head.src(), self.node, head.dst());
                 input.state = VcState::VcAllocation;
             }
         }
@@ -316,7 +344,13 @@ impl Router {
                 let input = &self.inputs[port * self.vcs + vc];
                 debug_assert_eq!(input.state, VcState::VcAllocation);
                 let out_port = input.out_port.expect("out_port set during RC") as usize;
-                let free = self.free_out_mask[out_port];
+                let mut free = self.free_out_mask[out_port];
+                if out_port != LOCAL_PORT {
+                    // Dateline discipline: inter-router links only hand out
+                    // VCs of the packet's class (no-op on a mesh, where both
+                    // class masks cover every VC).
+                    free &= self.class_masks[usize::from(input.next_class)];
+                }
                 if free == 0 {
                     continue;
                 }
@@ -444,7 +478,7 @@ mod tests {
     use super::*;
     use crate::flit::{Flit, PacketId};
     use crate::routing::XyRouting;
-    use crate::topology::Direction;
+    use crate::topology::{Direction, Mesh2d};
 
     fn small_config() -> NetworkConfig {
         NetworkConfig::builder()

@@ -4,8 +4,22 @@
 //! provided here by [`XyRouting`]. The [`RoutingAlgorithm`] trait keeps the
 //! router generic so that other deterministic algorithms (e.g. YX or
 //! table-based routing) can be plugged in for ablation studies.
+//!
+//! # Torus routing and datelines
+//!
+//! On a [`Topology::torus`] the dimension-ordered algorithms take the
+//! shortest way around each ring (ties broken towards East/South), which
+//! closes a channel-dependency cycle inside every ring. Deadlock freedom is
+//! restored with the classic *dateline* discipline (Dally & Seitz): each ring
+//! places its dateline on the wrap-around link, packets start in virtual
+//! channel class 0 and switch to class 1 once they cross the dateline of the
+//! ring they are currently traversing. [`RoutingAlgorithm::next_vc_class`]
+//! reports the class a packet must use downstream of its next hop; the router
+//! restricts VC allocation to that class (see
+//! [`Router`](crate::router::Router)). On a mesh the class is always 0 and no
+//! restriction applies.
 
-use crate::topology::{Direction, Mesh2d};
+use crate::topology::{Direction, Topology};
 use std::fmt::Debug;
 
 /// A deterministic routing function: which output port should a packet
@@ -14,35 +28,93 @@ pub trait RoutingAlgorithm: Debug + Send + Sync {
     /// Returns the output port to take at router `current` for a packet whose
     /// destination is `dst`. Returns [`Direction::Local`] when
     /// `current == dst`.
-    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction;
+    fn route(&self, topo: &Topology, current: usize, dst: usize) -> Direction;
+
+    /// The dateline virtual-channel class (0 or 1) the packet must use on the
+    /// link chosen by [`route`](Self::route) at `current`.
+    ///
+    /// `src` is the packet's source (head flits carry it), which determines
+    /// where the packet entered the ring it is currently traversing. The
+    /// default implementation returns 0, which is correct for any topology
+    /// without wrap-around links.
+    fn next_vc_class(&self, topo: &Topology, src: usize, current: usize, dst: usize) -> u8 {
+        let _ = (topo, src, current, dst);
+        0
+    }
 
     /// The number of hops the algorithm takes from `src` to `dst`
     /// (used by tests and by zero-load latency estimates).
-    fn path_length(&self, mesh: &Mesh2d, src: usize, dst: usize) -> usize {
+    fn path_length(&self, topo: &Topology, src: usize, dst: usize) -> usize {
         let mut hops = 0;
         let mut at = src;
+        // Loop detector: a deterministic route that revisits a node repeats
+        // forever, so `node_count` hops already imply a loop. The bound is
+        // deliberately looser — wrap-around routes and future non-minimal
+        // algorithms (Valiant-style detours traverse up to two full paths)
+        // must not trip it.
+        let bound = 2 * topo.node_count() + 2 * (topo.width() + topo.height());
         while at != dst {
-            let dir = self.route(mesh, at, dst);
-            at = mesh.neighbor(at, dir).expect("routing function must not route off the mesh");
+            let dir = self.route(topo, at, dst);
+            at = topo.neighbor(at, dir).expect("routing function must not route off the topology");
             hops += 1;
-            assert!(hops <= mesh.node_count() * 2, "routing loop detected");
+            assert!(hops <= bound, "routing loop detected");
         }
         hops
+    }
+}
+
+/// The travel direction along one ring dimension: positive means increasing
+/// coordinate (East/South).
+///
+/// `k` is the ring size, `c` the current coordinate, `d` the destination
+/// coordinate (`c != d`). On a torus the shorter way around wins, with ties
+/// broken towards positive; on a mesh wrap-around is not available so the
+/// sign of `d - c` decides.
+fn ring_positive(torus: bool, k: usize, c: usize, d: usize) -> bool {
+    if !torus {
+        return c < d;
+    }
+    let dpos = (d + k - c) % k;
+    dpos <= k - dpos
+}
+
+/// Dateline class after the next hop along one torus ring.
+///
+/// `s` is the coordinate at which the packet entered this ring (its source
+/// coordinate under dimension-ordered routing), `c` its current coordinate,
+/// `d` its destination coordinate (`c != d`). The dateline sits on the
+/// wrap-around link; a packet is in class 1 once its path from `s` has used
+/// that link. Minimal ring routes keep a constant travel direction, so the
+/// direction can be derived from `s` and matches [`ring_positive`] at every
+/// intermediate hop.
+fn ring_class_after_hop(k: usize, s: usize, c: usize, d: usize) -> u8 {
+    let positive = ring_positive(true, k, s, d);
+    if positive {
+        let next = (c + 1) % k;
+        u8::from(next < s)
+    } else {
+        let next = (c + k - 1) % k;
+        u8::from(next > s)
     }
 }
 
 /// Dimension-ordered routing: correct the X coordinate first, then Y.
 ///
 /// XY routing on a mesh is minimal and deadlock-free, which is why it is the
-/// default in Booksim and in the paper.
+/// default in Booksim and in the paper. On a torus it takes the shortest way
+/// around each ring and relies on the dateline VC discipline (see the module
+/// docs) for deadlock freedom.
 ///
 /// ```
-/// use noc_sim::{Mesh2d, XyRouting, RoutingAlgorithm, Direction};
+/// use noc_sim::{Topology, XyRouting, RoutingAlgorithm, Direction};
 ///
-/// let mesh = Mesh2d::new(5, 5);
+/// let mesh = Topology::mesh(5, 5);
 /// let routing = XyRouting::new();
 /// // From node 0 (0,0) to node 24 (4,4) the first moves go east.
 /// assert_eq!(routing.route(&mesh, 0, 24), Direction::East);
+/// // On the torus the same pair is one wrap hop west, then one north.
+/// let torus = Topology::torus(5, 5);
+/// assert_eq!(routing.route(&torus, 0, 24), Direction::West);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct XyRouting {
@@ -57,19 +129,40 @@ impl XyRouting {
 }
 
 impl RoutingAlgorithm for XyRouting {
-    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction {
-        let (cx, cy) = mesh.coords(current);
-        let (dx, dy) = mesh.coords(dst);
-        if cx < dx {
-            Direction::East
-        } else if cx > dx {
-            Direction::West
-        } else if cy < dy {
-            Direction::South
-        } else if cy > dy {
-            Direction::North
+    fn route(&self, topo: &Topology, current: usize, dst: usize) -> Direction {
+        let (cx, cy) = topo.coords(current);
+        let (dx, dy) = topo.coords(dst);
+        let torus = topo.is_torus();
+        if cx != dx {
+            if ring_positive(torus, topo.width(), cx, dx) {
+                Direction::East
+            } else {
+                Direction::West
+            }
+        } else if cy != dy {
+            if ring_positive(torus, topo.height(), cy, dy) {
+                Direction::South
+            } else {
+                Direction::North
+            }
         } else {
             Direction::Local
+        }
+    }
+
+    fn next_vc_class(&self, topo: &Topology, src: usize, current: usize, dst: usize) -> u8 {
+        if !topo.is_torus() {
+            return 0;
+        }
+        let (cx, cy) = topo.coords(current);
+        let (sx, sy) = topo.coords(src);
+        let (dx, dy) = topo.coords(dst);
+        if cx != dx {
+            ring_class_after_hop(topo.width(), sx, cx, dx)
+        } else if cy != dy {
+            ring_class_after_hop(topo.height(), sy, cy, dy)
+        } else {
+            0
         }
     }
 }
@@ -91,19 +184,40 @@ impl YxRouting {
 }
 
 impl RoutingAlgorithm for YxRouting {
-    fn route(&self, mesh: &Mesh2d, current: usize, dst: usize) -> Direction {
-        let (cx, cy) = mesh.coords(current);
-        let (dx, dy) = mesh.coords(dst);
-        if cy < dy {
-            Direction::South
-        } else if cy > dy {
-            Direction::North
-        } else if cx < dx {
-            Direction::East
-        } else if cx > dx {
-            Direction::West
+    fn route(&self, topo: &Topology, current: usize, dst: usize) -> Direction {
+        let (cx, cy) = topo.coords(current);
+        let (dx, dy) = topo.coords(dst);
+        let torus = topo.is_torus();
+        if cy != dy {
+            if ring_positive(torus, topo.height(), cy, dy) {
+                Direction::South
+            } else {
+                Direction::North
+            }
+        } else if cx != dx {
+            if ring_positive(torus, topo.width(), cx, dx) {
+                Direction::East
+            } else {
+                Direction::West
+            }
         } else {
             Direction::Local
+        }
+    }
+
+    fn next_vc_class(&self, topo: &Topology, src: usize, current: usize, dst: usize) -> u8 {
+        if !topo.is_torus() {
+            return 0;
+        }
+        let (cx, cy) = topo.coords(current);
+        let (sx, sy) = topo.coords(src);
+        let (dx, dy) = topo.coords(dst);
+        if cy != dy {
+            ring_class_after_hop(topo.height(), sy, cy, dy)
+        } else if cx != dx {
+            ring_class_after_hop(topo.width(), sx, cx, dx)
+        } else {
+            0
         }
     }
 }
@@ -111,6 +225,7 @@ impl RoutingAlgorithm for YxRouting {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh2d;
 
     #[test]
     fn xy_reaches_destination_with_minimal_hops() {
@@ -156,10 +271,11 @@ mod tests {
 
     #[test]
     fn destination_routes_to_local_port() {
-        let mesh = Mesh2d::new(4, 4);
-        let routing = XyRouting::new();
-        for node in 0..mesh.node_count() {
-            assert_eq!(routing.route(&mesh, node, node), Direction::Local);
+        for topo in [Topology::mesh(4, 4), Topology::torus(4, 4)] {
+            let routing = XyRouting::new();
+            for node in 0..topo.node_count() {
+                assert_eq!(routing.route(&topo, node, node), Direction::Local);
+            }
         }
     }
 
@@ -174,6 +290,108 @@ mod tests {
                 }
                 let dir = routing.route(&mesh, src, dst);
                 assert!(mesh.neighbor(src, dir).is_some(), "route must point at a real neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_for_both_orders() {
+        for topo in [Topology::torus(5, 5), Topology::torus(4, 6)] {
+            for src in 0..topo.node_count() {
+                for dst in 0..topo.node_count() {
+                    assert_eq!(
+                        XyRouting::new().path_length(&topo, src, dst),
+                        topo.hop_distance(src, dst),
+                        "xy {topo}: {src} -> {dst}"
+                    );
+                    assert_eq!(
+                        YxRouting::new().path_length(&topo, src, dst),
+                        topo.hop_distance(src, dst),
+                        "yx {topo}: {src} -> {dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_prefers_the_wrap_link_when_shorter() {
+        let t = Topology::torus(5, 5);
+        let routing = XyRouting::new();
+        // (0,0) -> (4,0): one hop west through the wrap link, not four east.
+        assert_eq!(routing.route(&t, t.node_at(0, 0), t.node_at(4, 0)), Direction::West);
+        // (0,0) -> (3,0): two hops west around the ring.
+        assert_eq!(routing.route(&t, t.node_at(0, 0), t.node_at(3, 0)), Direction::West);
+        // (0,0) -> (2,0): two hops east, no wrap.
+        assert_eq!(routing.route(&t, t.node_at(0, 0), t.node_at(2, 0)), Direction::East);
+    }
+
+    #[test]
+    fn even_ring_ties_break_towards_east_and_south() {
+        let t = Topology::torus(4, 4);
+        let routing = XyRouting::new();
+        // Distance 2 both ways on a 4-ring: East wins.
+        assert_eq!(routing.route(&t, t.node_at(0, 0), t.node_at(2, 0)), Direction::East);
+        assert_eq!(routing.route(&t, t.node_at(0, 0), t.node_at(0, 2)), Direction::South);
+    }
+
+    #[test]
+    fn vc_class_flips_after_the_dateline() {
+        let t = Topology::torus(5, 5);
+        let routing = XyRouting::new();
+        let src = t.node_at(4, 0);
+        let dst = t.node_at(1, 0);
+        // Route goes East through the wrap link 4 -> 0 -> 1.
+        assert_eq!(routing.route(&t, src, dst), Direction::East);
+        // The very first hop crosses the dateline: downstream class is 1.
+        assert_eq!(routing.next_vc_class(&t, src, src, dst), 1);
+        // After the crossing the packet stays in class 1.
+        assert_eq!(routing.next_vc_class(&t, src, t.node_at(0, 0), dst), 1);
+        // A route that never wraps stays in class 0 throughout.
+        let src2 = t.node_at(0, 0);
+        let dst2 = t.node_at(2, 0);
+        assert_eq!(routing.next_vc_class(&t, src2, src2, dst2), 0);
+        assert_eq!(routing.next_vc_class(&t, src2, t.node_at(1, 0), dst2), 0);
+    }
+
+    #[test]
+    fn vc_class_resets_when_switching_dimension() {
+        let t = Topology::torus(5, 5);
+        let routing = XyRouting::new();
+        // X leg wraps (class 1), the subsequent Y leg does not: the class
+        // must fall back to 0 when the packet enters the fresh ring.
+        let src = t.node_at(4, 0);
+        let dst = t.node_at(0, 2);
+        let after_x = t.node_at(0, 0);
+        assert_eq!(routing.next_vc_class(&t, src, src, dst), 1);
+        assert_eq!(routing.route(&t, after_x, dst), Direction::South);
+        assert_eq!(routing.next_vc_class(&t, src, after_x, dst), 0);
+    }
+
+    #[test]
+    fn mesh_vc_class_is_always_zero() {
+        let mesh = Mesh2d::new(4, 4);
+        for routing in [&XyRouting::new() as &dyn RoutingAlgorithm, &YxRouting::new()] {
+            for src in 0..mesh.node_count() {
+                for dst in 0..mesh.node_count() {
+                    assert_eq!(routing.next_vc_class(&mesh, src, src, dst), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_bound_admits_full_torus_wrap_routes() {
+        // Regression for the loop-detector bound: the longest minimal torus
+        // routes (half-way around both rings) and every mesh route must stay
+        // clearly inside it — `path_length` must never panic on a legal route.
+        for topo in [Topology::torus(8, 8), Topology::torus(2, 8), Topology::mesh(8, 8)] {
+            let bound = 2 * topo.node_count() + 2 * (topo.width() + topo.height());
+            for src in 0..topo.node_count() {
+                for dst in 0..topo.node_count() {
+                    let hops = XyRouting::new().path_length(&topo, src, dst);
+                    assert!(hops <= bound, "{topo}: {src}->{dst} took {hops} hops");
+                }
             }
         }
     }

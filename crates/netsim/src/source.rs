@@ -7,7 +7,7 @@
 //! same credit-based flow control as inter-router links.
 
 use crate::flit::{Flit, PacketId};
-use crate::topology::Mesh2d;
+use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
@@ -90,14 +90,14 @@ impl Source {
         &mut self,
         node_cycles: u64,
         traffic: &mut dyn TrafficSpec,
-        mesh: &Mesh2d,
+        topo: &Topology,
         rng: &mut StdRng,
         next_packet_id: &mut u64,
         current_cycle: u64,
         wall_time_ps: f64,
     ) {
         for _ in 0..node_cycles {
-            if let Some(dst) = traffic.maybe_generate(self.node, mesh, rng) {
+            if let Some(dst) = traffic.maybe_generate(self.node, topo, rng) {
                 let id = PacketId::new(*next_packet_id);
                 *next_packet_id += 1;
                 let flits = Flit::packet(
@@ -194,6 +194,7 @@ impl Source {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh2d;
     use crate::traffic::{SyntheticTraffic, TrafficPattern};
     use rand::SeedableRng;
 
@@ -213,10 +214,10 @@ mod tests {
         fn maybe_generate(
             &mut self,
             src: usize,
-            mesh: &Mesh2d,
+            topo: &Topology,
             _rng: &mut StdRng,
         ) -> Option<usize> {
-            Some((src + 1) % mesh.node_count())
+            Some((src + 1) % topo.node_count())
         }
     }
 

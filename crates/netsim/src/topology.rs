@@ -1,13 +1,15 @@
-//! 2D mesh topology and port algebra.
+//! 2D mesh / torus topology and port algebra.
 //!
-//! Every router has five ports: the four mesh directions plus a local port
+//! Every router has five ports: the four grid directions plus a local port
 //! that connects to the injecting/ejecting node. The paper's experiments use
-//! 4×4, 5×5 and 8×8 meshes.
+//! 4×4, 5×5 and 8×8 meshes; the torus variant adds the wrap-around links that
+//! standard NoC evaluation (Booksim-style) expects, so that the DVFS policies
+//! can be exercised on ring-closed dimensions as well.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Number of ports on a mesh router (North, East, South, West, Local).
+/// Number of ports on a grid router (North, East, South, West, Local).
 pub const PORT_COUNT: usize = 5;
 
 /// One of the five router ports.
@@ -80,33 +82,107 @@ impl fmt::Display for Direction {
     }
 }
 
-/// A `width × height` 2D mesh.
+/// Whether the grid's dimensions are open chains (mesh) or closed rings
+/// (torus with wrap-around links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Open 2D mesh: boundary routers have no neighbour beyond the edge.
+    Mesh,
+    /// 2D torus: every row and column closes into a ring via wrap-around
+    /// links. Requires dateline-aware routing for deadlock freedom (see
+    /// [`crate::routing`]).
+    Torus,
+}
+
+impl TopologyKind {
+    /// Both supported kinds.
+    pub const ALL: [TopologyKind; 2] = [TopologyKind::Mesh, TopologyKind::Torus];
+
+    /// A short lowercase name (`"mesh"` / `"torus"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `width × height` 2D grid, either mesh (open) or torus (wrap-around).
 ///
 /// Nodes are numbered row-major: node `id = y * width + x`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Mesh2d {
+pub struct Topology {
+    kind: TopologyKind,
     width: usize,
     height: usize,
 }
 
-impl Mesh2d {
-    /// Creates a mesh.
+/// Backwards-compatible name from before the topology abstraction: a
+/// [`Topology`] constructed through [`Topology::new`] is an open mesh.
+pub type Mesh2d = Topology;
+
+impl Topology {
+    /// Creates an open mesh (kept as the historical constructor name).
     ///
     /// # Panics
     ///
     /// Panics if either dimension is below 2 (use
     /// [`NetworkConfig`](crate::NetworkConfig) for validated construction).
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 2 && height >= 2, "mesh must be at least 2x2");
-        Mesh2d { width, height }
+        Topology::mesh(width, height)
     }
 
-    /// Mesh width (columns).
+    /// Creates an open `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn mesh(width: usize, height: usize) -> Self {
+        Topology::with_kind(TopologyKind::Mesh, width, height)
+    }
+
+    /// Creates a `width × height` torus (wrap-around links in both
+    /// dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn torus(width: usize, height: usize) -> Self {
+        Topology::with_kind(TopologyKind::Torus, width, height)
+    }
+
+    /// Creates a topology of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn with_kind(kind: TopologyKind, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "topology must be at least 2x2");
+        Topology { kind, width, height }
+    }
+
+    /// Whether the dimensions are open chains or closed rings.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Whether this topology has wrap-around links.
+    pub fn is_torus(&self) -> bool {
+        self.kind == TopologyKind::Torus
+    }
+
+    /// Grid width (columns).
     pub fn width(&self) -> usize {
         self.width
     }
 
-    /// Mesh height (rows).
+    /// Grid height (rows).
     pub fn height(&self) -> usize {
         self.height
     }
@@ -130,34 +206,53 @@ impl Mesh2d {
     ///
     /// # Panics
     ///
-    /// Panics if the coordinates are outside the mesh.
+    /// Panics if the coordinates are outside the grid.
     pub fn node_at(&self, x: usize, y: usize) -> usize {
         assert!(x < self.width && y < self.height, "coordinates out of range");
         y * self.width + x
     }
 
-    /// The neighbouring node in direction `dir`, if it exists (meshes have no
-    /// wrap-around links).
+    /// The neighbouring node in direction `dir`, if it exists. On a mesh,
+    /// boundary routers have no neighbour beyond the edge; on a torus every
+    /// non-local direction wraps around, so the answer is always `Some`.
     pub fn neighbor(&self, node: usize, dir: Direction) -> Option<usize> {
         let (x, y) = self.coords(node);
-        match dir {
-            Direction::North => (y > 0).then(|| self.node_at(x, y - 1)),
-            Direction::South => (y + 1 < self.height).then(|| self.node_at(x, y + 1)),
-            Direction::East => (x + 1 < self.width).then(|| self.node_at(x + 1, y)),
-            Direction::West => (x > 0).then(|| self.node_at(x - 1, y)),
-            Direction::Local => None,
+        match self.kind {
+            TopologyKind::Mesh => match dir {
+                Direction::North => (y > 0).then(|| self.node_at(x, y - 1)),
+                Direction::South => (y + 1 < self.height).then(|| self.node_at(x, y + 1)),
+                Direction::East => (x + 1 < self.width).then(|| self.node_at(x + 1, y)),
+                Direction::West => (x > 0).then(|| self.node_at(x - 1, y)),
+                Direction::Local => None,
+            },
+            TopologyKind::Torus => match dir {
+                Direction::North => Some(self.node_at(x, (y + self.height - 1) % self.height)),
+                Direction::South => Some(self.node_at(x, (y + 1) % self.height)),
+                Direction::East => Some(self.node_at((x + 1) % self.width, y)),
+                Direction::West => Some(self.node_at((x + self.width - 1) % self.width, y)),
+                Direction::Local => None,
+            },
         }
     }
 
-    /// Minimal hop distance between two nodes (Manhattan distance).
+    /// Minimal hop distance between two nodes: Manhattan distance on the
+    /// mesh, per-dimension shortest-way-around distance on the torus.
     pub fn hop_distance(&self, a: usize, b: usize) -> usize {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
-        ax.abs_diff(bx) + ay.abs_diff(by)
+        match self.kind {
+            TopologyKind::Mesh => ax.abs_diff(bx) + ay.abs_diff(by),
+            TopologyKind::Torus => {
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                dx.min(self.width - dx) + dy.min(self.height - dy)
+            }
+        }
     }
 
     /// Iterates over every directed inter-router link as
-    /// `(from_node, direction, to_node)`.
+    /// `(from_node, direction, to_node)`. Torus wrap-around links are
+    /// included.
     pub fn links(&self) -> Vec<(usize, Direction, usize)> {
         let mut out = Vec::new();
         for node in 0..self.node_count() {
@@ -173,9 +268,9 @@ impl Mesh2d {
     }
 }
 
-impl fmt::Display for Mesh2d {
+impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} mesh", self.width, self.height)
+        write!(f, "{}x{} {}", self.width, self.height, self.kind)
     }
 }
 
@@ -209,9 +304,10 @@ mod tests {
 
     #[test]
     fn local_port_has_no_neighbor() {
-        let m = Mesh2d::new(4, 4);
-        for node in 0..m.node_count() {
-            assert_eq!(m.neighbor(node, Direction::Local), None);
+        for topo in [Topology::mesh(4, 4), Topology::torus(4, 4)] {
+            for node in 0..topo.node_count() {
+                assert_eq!(topo.neighbor(node, Direction::Local), None);
+            }
         }
     }
 
@@ -256,9 +352,10 @@ mod tests {
 
     #[test]
     fn links_connect_adjacent_nodes_only() {
-        let m = Mesh2d::new(4, 3);
-        for (from, _dir, to) in m.links() {
-            assert_eq!(m.hop_distance(from, to), 1);
+        for topo in [Topology::mesh(4, 3), Topology::torus(4, 3)] {
+            for (from, _dir, to) in topo.links() {
+                assert_eq!(topo.hop_distance(from, to), 1, "{topo}: {from} -> {to}");
+            }
         }
     }
 
@@ -266,5 +363,51 @@ mod tests {
     #[should_panic(expected = "at least 2x2")]
     fn degenerate_mesh_panics() {
         let _ = Mesh2d::new(1, 8);
+    }
+
+    #[test]
+    fn torus_neighbors_wrap_around() {
+        let t = Topology::torus(4, 3);
+        // Top-left corner wraps in all four directions.
+        assert_eq!(t.neighbor(0, Direction::North), Some(t.node_at(0, 2)));
+        assert_eq!(t.neighbor(0, Direction::West), Some(t.node_at(3, 0)));
+        assert_eq!(t.neighbor(0, Direction::East), Some(1));
+        assert_eq!(t.neighbor(0, Direction::South), Some(4));
+        // East off the right edge wraps to column 0.
+        let right = t.node_at(3, 1);
+        assert_eq!(t.neighbor(right, Direction::East), Some(t.node_at(0, 1)));
+    }
+
+    #[test]
+    fn torus_hop_distance_takes_the_short_way_around() {
+        let t = Topology::torus(5, 5);
+        // Corner to opposite corner is 2 hops on the torus (wrap both dims).
+        assert_eq!(t.hop_distance(t.node_at(0, 0), t.node_at(4, 4)), 2);
+        assert_eq!(t.hop_distance(t.node_at(0, 0), t.node_at(2, 2)), 4);
+        assert_eq!(t.hop_distance(12, 12), 0);
+        // A mesh of the same size is strictly farther across the diagonal.
+        let m = Topology::mesh(5, 5);
+        assert!(m.hop_distance(0, 24) > t.hop_distance(0, 24));
+    }
+
+    #[test]
+    fn torus_has_a_link_per_node_and_direction() {
+        // Every node has all four neighbours on a torus: 4*w*h directed links.
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.links().len(), 4 * 16);
+        let t = Topology::torus(5, 3);
+        assert_eq!(t.links().len(), 4 * 15);
+    }
+
+    #[test]
+    fn kind_accessors_and_display() {
+        let m = Topology::mesh(4, 4);
+        let t = Topology::torus(4, 4);
+        assert_eq!(m.kind(), TopologyKind::Mesh);
+        assert!(!m.is_torus());
+        assert!(t.is_torus());
+        assert_eq!(m.to_string(), "4x4 mesh");
+        assert_eq!(t.to_string(), "4x4 torus");
+        assert_ne!(m, t, "kind participates in equality");
     }
 }

@@ -1,17 +1,28 @@
-//! Traffic generation: synthetic patterns and custom traffic matrices.
+//! Traffic generation: synthetic patterns, bursty sources and custom traffic
+//! matrices.
 //!
 //! The paper evaluates the DVFS policies on five synthetic patterns
 //! (uniform, tornado, bit-complement, transpose, neighbor) and on two
-//! multimedia applications described by traffic matrices; both kinds are
-//! provided here behind the [`TrafficSpec`] trait.
+//! multimedia applications described by traffic matrices. This module adds
+//! the standard Booksim-style extensions — hotspot concentration, the
+//! shuffle and bit-reverse permutations, and a two-state Markov-modulated
+//! (bursty) injection process — so that policy claims can be checked beyond
+//! the paper's exact scenarios. All kinds are provided behind the
+//! [`TrafficSpec`] trait.
 
-use crate::topology::Mesh2d;
+use crate::error::ConfigError;
+use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 
-/// The synthetic traffic patterns used in Sec. V of the paper.
+/// Fraction of Hotspot packets that target the hotspot node; the remainder
+/// are uniform background traffic.
+pub const HOTSPOT_FRACTION: f64 = 0.25;
+
+/// The synthetic traffic patterns: the five used in Sec. V of the paper plus
+/// the standard hotspot / shuffle / bit-reverse extensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TrafficPattern {
     /// Each packet goes to a destination chosen uniformly at random
@@ -20,18 +31,47 @@ pub enum TrafficPattern {
     /// Each node `(x, y)` sends to `((x + ⌈k/2⌉ − 1) mod k, y)`: adversarial
     /// for ring-like dimensions.
     Tornado,
-    /// Node `(x, y)` sends to `(k−1−x, k−1−y)` (bit-complement on the mesh
-    /// coordinates).
+    /// Node `(x, y)` sends to `(k−1−x, k−1−y)` (bit-complement on the grid
+    /// coordinates). Deterministic permutation of the non-fixed nodes.
     BitComplement,
-    /// Node `(x, y)` sends to `(y, x)`; requires a square mesh.
+    /// Node `(x, y)` sends to `(y, x)`; requires a square grid (validated by
+    /// [`NetworkConfig`](crate::NetworkConfig)). Deterministic permutation of
+    /// the off-diagonal nodes.
     Transpose,
     /// Node `(x, y)` sends to `((x+1) mod k, y)`: nearest-neighbor traffic.
+    /// Deterministic permutation.
     Neighbor,
+    /// With probability [`HOTSPOT_FRACTION`] a packet targets the hotspot
+    /// node at the grid centre `(w/2, h/2)`; otherwise the destination is
+    /// uniform random. Models the concentration that a shared memory
+    /// controller or accelerator port creates.
+    Hotspot,
+    /// Perfect-shuffle permutation on the node index: `dst` is `src` rotated
+    /// left by one bit over `log2(n)` bits. Requires a power-of-two node
+    /// count (validated by [`NetworkConfig`](crate::NetworkConfig)).
+    /// Deterministic permutation.
+    Shuffle,
+    /// Bit-reversal permutation on the node index over `log2(n)` bits.
+    /// Requires a power-of-two node count (validated by
+    /// [`NetworkConfig`](crate::NetworkConfig)). Deterministic permutation.
+    BitReverse,
 }
 
 impl TrafficPattern {
-    /// All deterministic and random patterns evaluated in the paper.
-    pub const ALL: [TrafficPattern; 5] = [
+    /// All supported patterns: the paper's five plus the extensions.
+    pub const ALL: [TrafficPattern; 8] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::Tornado,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Transpose,
+        TrafficPattern::Neighbor,
+        TrafficPattern::Hotspot,
+        TrafficPattern::Shuffle,
+        TrafficPattern::BitReverse,
+    ];
+
+    /// The five patterns evaluated in the paper's figures.
+    pub const PAPER: [TrafficPattern; 5] = [
         TrafficPattern::Uniform,
         TrafficPattern::Tornado,
         TrafficPattern::BitComplement,
@@ -47,44 +87,98 @@ impl TrafficPattern {
             TrafficPattern::BitComplement => "bitcomp",
             TrafficPattern::Transpose => "transpose",
             TrafficPattern::Neighbor => "neighbor",
+            TrafficPattern::Hotspot => "hotspot",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::BitReverse => "bitrev",
+        }
+    }
+
+    /// Whether the pattern is a deterministic function of the source (no RNG
+    /// involved in destination choice).
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, TrafficPattern::Uniform | TrafficPattern::Hotspot)
+    }
+
+    /// Checks that this pattern is well-defined on `topo`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::PatternNeedsSquare`] — [`Transpose`](Self::Transpose)
+    ///   on a non-square grid;
+    /// * [`ConfigError::PatternNeedsPowerOfTwoNodes`] —
+    ///   [`Shuffle`](Self::Shuffle) or [`BitReverse`](Self::BitReverse) on a
+    ///   node count that is not a power of two.
+    pub fn validate_for(self, topo: &Topology) -> Result<(), ConfigError> {
+        match self {
+            TrafficPattern::Transpose if topo.width() != topo.height() => {
+                Err(ConfigError::PatternNeedsSquare {
+                    pattern: self.name(),
+                    width: topo.width(),
+                    height: topo.height(),
+                })
+            }
+            TrafficPattern::Shuffle | TrafficPattern::BitReverse
+                if !topo.node_count().is_power_of_two() =>
+            {
+                Err(ConfigError::PatternNeedsPowerOfTwoNodes {
+                    pattern: self.name(),
+                    nodes: topo.node_count(),
+                })
+            }
+            _ => Ok(()),
         }
     }
 
     /// Destination node for a packet generated at `src`.
     ///
     /// Returns `None` when the pattern maps the source onto itself (such
-    /// nodes simply do not inject, as in the reference simulator).
-    pub fn destination(self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
-        let (x, y) = mesh.coords(src);
-        let w = mesh.width();
-        let h = mesh.height();
+    /// nodes simply do not inject, as in the reference simulator) or when the
+    /// pattern is not defined on `topo` (rejected up front by
+    /// [`validate_for`](Self::validate_for)).
+    pub fn destination(self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+        let (x, y) = topo.coords(src);
+        let w = topo.width();
+        let h = topo.height();
         let dst = match self {
-            TrafficPattern::Uniform => {
-                let n = mesh.node_count();
-                if n <= 1 {
-                    return None;
-                }
-                // Rejection-free uniform choice excluding the source.
-                let mut d = rng.gen_range(0..n - 1);
-                if d >= src {
-                    d += 1;
-                }
-                d
-            }
+            TrafficPattern::Uniform => uniform_excluding(src, topo.node_count(), rng)?,
             TrafficPattern::Tornado => {
                 let dx = (x + w.div_ceil(2) - 1) % w;
                 let dy = (y + h.div_ceil(2) - 1) % h;
-                mesh.node_at(dx, dy)
+                topo.node_at(dx, dy)
             }
-            TrafficPattern::BitComplement => mesh.node_at(w - 1 - x, h - 1 - y),
+            TrafficPattern::BitComplement => topo.node_at(w - 1 - x, h - 1 - y),
             TrafficPattern::Transpose => {
                 if x < h && y < w {
-                    mesh.node_at(y, x)
+                    topo.node_at(y, x)
                 } else {
                     return None;
                 }
             }
-            TrafficPattern::Neighbor => mesh.node_at((x + 1) % w, y),
+            TrafficPattern::Neighbor => topo.node_at((x + 1) % w, y),
+            TrafficPattern::Hotspot => {
+                let hotspot = topo.node_at(w / 2, h / 2);
+                if src != hotspot && rng.gen_bool(HOTSPOT_FRACTION) {
+                    hotspot
+                } else {
+                    uniform_excluding(src, topo.node_count(), rng)?
+                }
+            }
+            TrafficPattern::Shuffle => {
+                let n = topo.node_count();
+                if !n.is_power_of_two() {
+                    return None;
+                }
+                let bits = n.trailing_zeros();
+                ((src << 1) | (src >> (bits - 1) as usize)) & (n - 1)
+            }
+            TrafficPattern::BitReverse => {
+                let n = topo.node_count();
+                if !n.is_power_of_two() {
+                    return None;
+                }
+                let bits = n.trailing_zeros();
+                src.reverse_bits() >> (usize::BITS - bits) as usize
+            }
         };
         if dst == src {
             None
@@ -92,6 +186,18 @@ impl TrafficPattern {
             Some(dst)
         }
     }
+}
+
+/// Uniform destination in `0..n` excluding `src` (rejection-free).
+fn uniform_excluding(src: usize, n: usize, rng: &mut StdRng) -> Option<usize> {
+    if n <= 1 {
+        return None;
+    }
+    let mut d = rng.gen_range(0..n - 1);
+    if d >= src {
+        d += 1;
+    }
+    Some(d)
 }
 
 /// A source of traffic: decides, once per node-clock cycle and per node,
@@ -107,7 +213,7 @@ pub trait TrafficSpec: Debug + Send {
     /// Possibly generates a packet at `src` for this node-clock cycle.
     ///
     /// Returns the destination node if a packet is generated.
-    fn maybe_generate(&mut self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize>;
+    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize>;
 }
 
 /// Bernoulli packet injection following one of the synthetic
@@ -156,10 +262,136 @@ impl TrafficSpec for SyntheticTraffic {
         self.injection_rate
     }
 
-    fn maybe_generate(&mut self, src: usize, mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
         let p = (self.injection_rate / self.packet_length as f64).min(1.0);
         if rng.gen_bool(p) {
-            self.pattern.destination(src, mesh, rng)
+            self.pattern.destination(src, topo, rng)
+        } else {
+            None
+        }
+    }
+}
+
+/// Two-state Markov-modulated (ON/OFF bursty) packet injection.
+///
+/// Each node carries an independent ON/OFF state evolving once per node
+/// cycle: from ON it falls back to OFF with probability `1 / avg_burst`
+/// (bursts last `avg_burst` cycles on average, geometrically distributed),
+/// and from OFF it ignites with the probability that makes the stationary ON
+/// share equal `injection_rate / burst_rate`. While ON the node injects
+/// Bernoulli packets at the peak rate `burst_rate = burst_factor ×
+/// injection_rate`; while OFF it is silent. The long-run average rate
+/// therefore matches a Bernoulli source of the same `injection_rate`, but
+/// arrivals cluster — the workload that exposes how quickly a DVFS controller
+/// tracks load swings. All nodes start OFF, so runs need the usual warm-up.
+#[derive(Debug, Clone)]
+pub struct BurstyTraffic {
+    pattern: TrafficPattern,
+    injection_rate: f64,
+    packet_length: usize,
+    burst_rate: f64,
+    p_on_to_off: f64,
+    p_off_to_on: f64,
+    on: Vec<bool>,
+}
+
+impl BurstyTraffic {
+    /// Creates a bursty source.
+    ///
+    /// `injection_rate` is the long-run average in flits per node cycle,
+    /// `avg_burst_cycles` the mean ON duration, and `burst_factor` the
+    /// peak-to-average ratio (the ON-state rate is clamped so that at most
+    /// one packet starts per node cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `injection_rate` is negative/not finite, `packet_length` is
+    /// zero, `avg_burst_cycles < 1`, or `burst_factor <= 1`.
+    pub fn new(
+        pattern: TrafficPattern,
+        injection_rate: f64,
+        packet_length: usize,
+        avg_burst_cycles: f64,
+        burst_factor: f64,
+    ) -> Self {
+        assert!(injection_rate.is_finite() && injection_rate >= 0.0);
+        assert!(packet_length > 0);
+        assert!(avg_burst_cycles >= 1.0, "bursts must last at least one cycle on average");
+        assert!(burst_factor > 1.0, "burst factor must exceed 1 (use SyntheticTraffic otherwise)");
+        let burst_rate = (injection_rate * burst_factor).min(packet_length as f64);
+        let duty = if burst_rate > 0.0 { injection_rate / burst_rate } else { 0.0 };
+        let p_on_to_off = 1.0 / avg_burst_cycles;
+        let (p_on_to_off, p_off_to_on) = if duty >= 1.0 {
+            // Degenerate: the peak rate equals the average (burst_rate was
+            // clamped down to it), so the source is permanently ON.
+            (0.0, 1.0)
+        } else {
+            let raw = duty * p_on_to_off / (1.0 - duty);
+            if raw > 1.0 {
+                // The requested burst length is unachievable at this duty
+                // cycle (OFF gaps would need to end faster than one cycle).
+                // Scale both transition probabilities by the same factor:
+                // the stationary ON share — and therefore the documented
+                // long-run average rate — stays exact, and bursts simply run
+                // proportionally longer than requested.
+                (p_on_to_off / raw, 1.0)
+            } else {
+                (p_on_to_off, raw)
+            }
+        };
+        BurstyTraffic {
+            pattern,
+            injection_rate,
+            packet_length,
+            burst_rate,
+            p_on_to_off,
+            p_off_to_on,
+            on: Vec::new(),
+        }
+    }
+
+    /// The pattern followed by this source.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// Peak injection rate while a node is in the ON state.
+    pub fn burst_rate(&self) -> f64 {
+        self.burst_rate
+    }
+}
+
+impl TrafficSpec for BurstyTraffic {
+    fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.injection_rate
+    }
+
+    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+        if self.injection_rate <= 0.0 {
+            return None;
+        }
+        if self.on.len() <= src {
+            self.on.resize(src + 1, false);
+        }
+        // Advance the per-node Markov chain, then draw in the current state.
+        let flip = if self.on[src] {
+            rng.gen_bool(self.p_on_to_off)
+        } else {
+            rng.gen_bool(self.p_off_to_on)
+        };
+        if flip {
+            self.on[src] = !self.on[src];
+        }
+        if !self.on[src] {
+            return None;
+        }
+        let p = (self.burst_rate / self.packet_length as f64).min(1.0);
+        if rng.gen_bool(p) {
+            self.pattern.destination(src, topo, rng)
         } else {
             None
         }
@@ -239,7 +471,7 @@ impl TrafficSpec for MatrixTraffic {
         self.row_totals.iter().sum::<f64>() / self.rates.len() as f64
     }
 
-    fn maybe_generate(&mut self, src: usize, _mesh: &Mesh2d, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(&mut self, src: usize, _topo: &Topology, rng: &mut StdRng) -> Option<usize> {
         if src >= self.rates.len() {
             return None;
         }
@@ -269,6 +501,7 @@ impl TrafficSpec for MatrixTraffic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh2d;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
@@ -333,6 +566,77 @@ mod tests {
     }
 
     #[test]
+    fn hotspot_concentrates_on_the_centre_node() {
+        let mesh = Mesh2d::new(4, 4);
+        let hotspot = mesh.node_at(2, 2);
+        let mut r = rng();
+        let mut to_hotspot = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let dst = TrafficPattern::Hotspot.destination(0, &mesh, &mut r).unwrap();
+            assert_ne!(dst, 0);
+            if dst == hotspot {
+                to_hotspot += 1;
+            }
+        }
+        let share = to_hotspot as f64 / trials as f64;
+        // 25% direct hotspot picks plus the uniform background's 1/15.
+        let expected = HOTSPOT_FRACTION + (1.0 - HOTSPOT_FRACTION) / 15.0;
+        assert!((share - expected).abs() < 0.02, "hotspot share {share}, expected {expected}");
+        // The hotspot node itself falls back to uniform traffic.
+        for _ in 0..200 {
+            let dst = TrafficPattern::Hotspot.destination(hotspot, &mesh, &mut r).unwrap();
+            assert_ne!(dst, hotspot);
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_the_node_index_bits() {
+        let mesh = Mesh2d::new(4, 4); // 16 nodes, 4 bits
+        let mut r = rng();
+        assert_eq!(TrafficPattern::Shuffle.destination(0b0011, &mesh, &mut r), Some(0b0110));
+        assert_eq!(TrafficPattern::Shuffle.destination(0b1000, &mesh, &mut r), Some(0b0001));
+        // Fixed points (0 and 15) do not inject.
+        assert_eq!(TrafficPattern::Shuffle.destination(0b0000, &mesh, &mut r), None);
+        assert_eq!(TrafficPattern::Shuffle.destination(0b1111, &mesh, &mut r), None);
+    }
+
+    #[test]
+    fn bit_reverse_mirrors_the_node_index_bits() {
+        let mesh = Mesh2d::new(4, 4); // 16 nodes, 4 bits
+        let mut r = rng();
+        assert_eq!(TrafficPattern::BitReverse.destination(0b0001, &mesh, &mut r), Some(0b1000));
+        assert_eq!(TrafficPattern::BitReverse.destination(0b0011, &mesh, &mut r), Some(0b1100));
+        assert_eq!(TrafficPattern::BitReverse.destination(0b0110, &mesh, &mut r), None);
+    }
+
+    #[test]
+    fn pattern_validation_rejects_undefined_combinations() {
+        let square = Mesh2d::new(4, 4);
+        let tall = Mesh2d::new(4, 3);
+        assert!(TrafficPattern::Transpose.validate_for(&square).is_ok());
+        assert!(matches!(
+            TrafficPattern::Transpose.validate_for(&tall),
+            Err(ConfigError::PatternNeedsSquare { pattern: "transpose", width: 4, height: 3 })
+        ));
+        let five = Mesh2d::new(5, 5);
+        assert!(TrafficPattern::Shuffle.validate_for(&square).is_ok());
+        assert!(matches!(
+            TrafficPattern::Shuffle.validate_for(&five),
+            Err(ConfigError::PatternNeedsPowerOfTwoNodes { pattern: "shuffle", nodes: 25 })
+        ));
+        assert!(matches!(
+            TrafficPattern::BitReverse.validate_for(&five),
+            Err(ConfigError::PatternNeedsPowerOfTwoNodes { pattern: "bitrev", nodes: 25 })
+        ));
+        for p in TrafficPattern::PAPER {
+            if p != TrafficPattern::Transpose {
+                assert!(p.validate_for(&tall).is_ok(), "{} should accept 4x3", p.name());
+            }
+        }
+    }
+
+    #[test]
     fn synthetic_rate_matches_configuration() {
         let mesh = Mesh2d::new(4, 4);
         let mut traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.3, 5);
@@ -352,10 +656,106 @@ mod tests {
     }
 
     #[test]
+    fn bursty_long_run_rate_matches_configuration() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut traffic = BurstyTraffic::new(TrafficPattern::Uniform, 0.2, 5, 50.0, 4.0);
+        let mut r = rng();
+        let trials = 400_000;
+        let mut packets = 0;
+        for _ in 0..trials {
+            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+                packets += 1;
+            }
+        }
+        let measured_flit_rate = packets as f64 * 5.0 / trials as f64;
+        assert!(
+            (measured_flit_rate - 0.2).abs() < 0.02,
+            "measured {measured_flit_rate}, expected 0.2"
+        );
+        assert!((traffic.offered_load() - 0.2).abs() < 1e-12);
+        assert!((traffic.burst_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_more_than_bernoulli() {
+        // Compare the per-window variance of packet counts at equal average
+        // rate: the MMP source must be burstier.
+        let mesh = Mesh2d::new(4, 4);
+        let mut bursty = BurstyTraffic::new(TrafficPattern::Uniform, 0.2, 5, 100.0, 4.0);
+        let mut bernoulli = SyntheticTraffic::new(TrafficPattern::Uniform, 0.2, 5);
+        let mut r1 = rng();
+        let mut r2 = StdRng::seed_from_u64(43);
+        let window = 200;
+        let windows = 400;
+        let variance = |counts: &[f64]| {
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64
+        };
+        let mut bursty_counts = Vec::new();
+        let mut bernoulli_counts = Vec::new();
+        for _ in 0..windows {
+            let mut a = 0.0;
+            let mut b = 0.0;
+            for _ in 0..window {
+                if bursty.maybe_generate(0, &mesh, &mut r1).is_some() {
+                    a += 1.0;
+                }
+                if bernoulli.maybe_generate(0, &mesh, &mut r2).is_some() {
+                    b += 1.0;
+                }
+            }
+            bursty_counts.push(a);
+            bernoulli_counts.push(b);
+        }
+        assert!(
+            variance(&bursty_counts) > 2.0 * variance(&bernoulli_counts),
+            "bursty variance {} should clearly exceed bernoulli variance {}",
+            variance(&bursty_counts),
+            variance(&bernoulli_counts)
+        );
+    }
+
+    #[test]
+    fn bursty_rate_guarantee_survives_extreme_parameterizations() {
+        // High duty cycle + short bursts: the naive off->on probability
+        // exceeds 1 and must be renormalized, not clamped — the long-run
+        // rate is the contract, burst length is best-effort.
+        let mesh = Mesh2d::new(4, 4);
+        let mut traffic = BurstyTraffic::new(TrafficPattern::Uniform, 0.3, 5, 2.0, 1.1);
+        let mut r = rng();
+        let trials = 400_000;
+        let mut packets = 0;
+        for _ in 0..trials {
+            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+                packets += 1;
+            }
+        }
+        let measured_flit_rate = packets as f64 * 5.0 / trials as f64;
+        assert!(
+            (measured_flit_rate - 0.3).abs() < 0.02,
+            "measured {measured_flit_rate}, expected 0.3"
+        );
+    }
+
+    #[test]
+    fn bursty_zero_rate_generates_nothing() {
+        let mesh = Mesh2d::new(4, 4);
+        let mut traffic = BurstyTraffic::new(TrafficPattern::Uniform, 0.0, 5, 10.0, 3.0);
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert_eq!(traffic.maybe_generate(3, &mesh, &mut r), None);
+        }
+    }
+
+    #[test]
     fn pattern_names_are_stable() {
         assert_eq!(TrafficPattern::Uniform.name(), "uniform");
         assert_eq!(TrafficPattern::BitComplement.name(), "bitcomp");
-        assert_eq!(TrafficPattern::ALL.len(), 5);
+        assert_eq!(TrafficPattern::Hotspot.name(), "hotspot");
+        assert_eq!(TrafficPattern::Shuffle.name(), "shuffle");
+        assert_eq!(TrafficPattern::BitReverse.name(), "bitrev");
+        assert_eq!(TrafficPattern::ALL.len(), 8);
+        assert_eq!(TrafficPattern::PAPER.len(), 5);
     }
 
     #[test]

@@ -194,8 +194,16 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable — the knob `scripts/ci.sh` uses to pin the CI case budget
+    /// (the per-case seeds are fixed regardless, so runs are reproducible).
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases, max_shrink_iters: 0 }
     }
 }
 

@@ -1,0 +1,95 @@
+//! Scenario-engine sweep: the topology × pattern × injection-process grid.
+//!
+//! ```text
+//! cargo run --release --example torus_scenarios [--grid]
+//! ```
+//!
+//! By default this runs the headline new scenario end to end — a **torus**
+//! with **hotspot** traffic released by the **bursty** (Markov-modulated)
+//! process — through the saturation search, the three-policy closed-loop
+//! sweep, and a torus evaluation of the H.264 application mapping. With
+//! `--grid` it instead sweeps every scenario the 4×4 base configuration
+//! admits (2 topologies × 8 patterns × 2 processes) and prints one summary
+//! line per scenario.
+
+use noc_dvfs_repro::apps::h264_encoder;
+use noc_dvfs_repro::dvfs::experiments::{compare_policies_application_on, ExperimentQuality};
+use noc_dvfs_repro::dvfs::scenario::{compare_policies_scenario, scenario_grid, Scenario};
+use noc_dvfs_repro::dvfs::PolicyCurve;
+use noc_dvfs_repro::sim::{NetworkConfig, TopologyKind, TrafficPattern};
+
+fn small_base() -> NetworkConfig {
+    NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .expect("base configuration is valid")
+}
+
+fn print_curves(curves: &[PolicyCurve]) {
+    println!(
+        "{:>10} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "policy", "load", "latency (cyc)", "delay (ns)", "power (mW)", "freq (GHz)"
+    );
+    for curve in curves {
+        for point in &curve.points {
+            println!(
+                "{:>10} {:>10.3} {:>14.1} {:>12.1} {:>12.1} {:>10.3}",
+                curve.policy,
+                point.load,
+                point.result.avg_latency_cycles,
+                point.result.avg_delay_ns,
+                point.result.power_mw,
+                point.result.avg_frequency_ghz,
+            );
+        }
+    }
+}
+
+fn main() {
+    let grid_mode = std::env::args().any(|a| a == "--grid");
+    let base = small_base();
+    let quality = ExperimentQuality::quick();
+
+    if grid_mode {
+        let grid = scenario_grid(&base, true);
+        println!("Sweeping {} scenarios on the 4x4 base configuration…", grid.len());
+        println!(
+            "{:>28} {:>10} {:>14} {:>12}",
+            "scenario", "lambda_max", "RMSD P (mW)", "DMSD P (mW)"
+        );
+        for scenario in grid {
+            let cmp = compare_policies_scenario(&base, scenario, &quality)
+                .expect("grid scenarios are valid");
+            let power_at_top = |policy: &str| {
+                cmp.curve(policy)
+                    .and_then(|c| c.points.last())
+                    .map(|p| p.result.power_mw)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{:>28} {:>10.3} {:>14.1} {:>12.1}",
+                cmp.label,
+                cmp.lambda_max,
+                power_at_top("RMSD"),
+                power_at_top("DMSD"),
+            );
+        }
+        return;
+    }
+
+    let scenario = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot).bursty();
+    println!("Scenario: {} on the 4x4 base configuration", scenario.label());
+    let cmp =
+        compare_policies_scenario(&base, scenario, &quality).expect("scenario is valid on 4x4");
+    println!("lambda_max (90% of measured saturation) = {:.3} flits/cycle/node", cmp.lambda_max);
+    print_curves(&cmp.curves);
+
+    println!();
+    println!("H.264 application mapping on a torus (same placement, wrap links):");
+    let app = compare_policies_application_on(&h264_encoder(), TopologyKind::Torus, &quality);
+    println!("label = {}, lambda_max = {:.3}", app.label, app.lambda_max);
+    print_curves(&app.curves);
+}

@@ -7,8 +7,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The property suites (tests/{routing,traffic,simulator,policy}_properties.rs)
+# run as part of the workspace test pass below. Their inputs are sampled from
+# per-case fixed seeds (see the proptest shim), so runs are reproducible;
+# PROPTEST_CASES pins the case budget explicitly so local and CI runs cover
+# the same corpus.
+echo "==> cargo test -q (property suites at PROPTEST_CASES=${PROPTEST_CASES:-64}, fixed seeds)"
+PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

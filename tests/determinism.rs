@@ -13,9 +13,12 @@
 //!    point is an independent simulation with an explicit seed.
 
 use noc_dvfs::experiments::{compare_policies_synthetic, ExperimentQuality};
+use noc_dvfs::scenario::{scenario_grid, sweep_scenario, sweep_scenario_serial};
 use noc_dvfs::sweep::{sweep_policies, sweep_policies_serial};
 use noc_dvfs::{ClosedLoopConfig, PolicyKind, RmsdConfig};
-use noc_sim::{NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, TrafficSpec};
+use noc_sim::{
+    BurstyTraffic, NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, TrafficSpec,
+};
 
 /// One expected measurement window (mirrors `WindowMeasurement`, minus the
 /// fields that are trivially zero in this scenario).
@@ -113,6 +116,139 @@ const GOLDEN_WINDOWS: [GoldenWindow; 6] = [
         delay_ps_sum: 3525000.0,
     },
 ];
+
+/// The 4×4 torus used by the scenario-engine goldens: the baseline
+/// micro-architecture on wrap-around links.
+fn torus_4x4() -> NetworkConfig {
+    NetworkConfig::builder()
+        .torus(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap()
+}
+
+/// Golden `WindowMeasurement` sequence for
+/// `(torus_4x4, bursty hotspot @ 0.10 flits/cycle/node, seed 2015)` —
+/// bursty parameters: 200-cycle bursts at 4× the average rate. Six windows
+/// of 500 NoC cycles at the default 1 GHz clock. Pins the whole new scenario
+/// stack at once: torus wrap links, dateline VC classes, hotspot
+/// destinations and the MMP injection process (note the ~3× swing in
+/// `flits_generated` across windows — that *is* the burstiness).
+const GOLDEN_TORUS_WINDOWS: [GoldenWindow; 6] = [
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 880,
+        flits_injected: 862,
+        packets_ejected: 167,
+        flits_ejected: 841,
+        latency_cycles_sum: 3647,
+        delay_ps_sum: 3647000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 1500,
+        flits_injected: 1237,
+        packets_ejected: 237,
+        flits_ejected: 1191,
+        latency_cycles_sum: 7871,
+        delay_ps_sum: 7871000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 1050,
+        flits_injected: 1234,
+        packets_ejected: 254,
+        flits_ejected: 1260,
+        latency_cycles_sum: 28623,
+        delay_ps_sum: 28623000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 830,
+        flits_injected: 907,
+        packets_ejected: 179,
+        flits_ejected: 898,
+        latency_cycles_sum: 6970,
+        delay_ps_sum: 6970000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 825,
+        flits_injected: 830,
+        packets_ejected: 169,
+        flits_ejected: 846,
+        latency_cycles_sum: 3749,
+        delay_ps_sum: 3749000.0,
+    },
+    GoldenWindow {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 460,
+        flits_injected: 472,
+        packets_ejected: 95,
+        flits_ejected: 472,
+        latency_cycles_sum: 2028,
+        delay_ps_sum: 2028000.0,
+    },
+];
+
+fn assert_windows_match(sim: &mut NocSimulation, expected: &[GoldenWindow]) {
+    for (i, e) in expected.iter().enumerate() {
+        sim.run_cycles(500);
+        let w = sim.take_window();
+        assert_eq!(w.noc_cycles, e.noc_cycles, "window {i}: noc_cycles");
+        assert_eq!(w.node_cycles, e.node_cycles, "window {i}: node_cycles");
+        assert_eq!(w.wall_time_ps, e.wall_time_ps, "window {i}: wall_time_ps");
+        assert_eq!(w.flits_generated, e.flits_generated, "window {i}: flits_generated");
+        assert_eq!(w.flits_injected, e.flits_injected, "window {i}: flits_injected");
+        assert_eq!(w.packets_ejected, e.packets_ejected, "window {i}: packets_ejected");
+        assert_eq!(w.flits_ejected, e.flits_ejected, "window {i}: flits_ejected");
+        assert_eq!(w.latency_cycles_sum, e.latency_cycles_sum, "window {i}: latency_cycles_sum");
+        assert_eq!(w.delay_ps_sum, e.delay_ps_sum, "window {i}: delay_ps_sum");
+    }
+}
+
+#[test]
+fn golden_torus_hotspot_bursty_sequence_is_stable() {
+    let cfg = torus_4x4();
+    let traffic =
+        BurstyTraffic::new(TrafficPattern::Hotspot, 0.10, cfg.packet_length(), 200.0, 4.0);
+    let mut sim = NocSimulation::new(cfg, Box::new(traffic), 2015);
+    assert_windows_match(&mut sim, &GOLDEN_TORUS_WINDOWS);
+}
+
+#[test]
+fn scenario_grid_sweeps_have_serial_parallel_parity() {
+    // The widened (topology × pattern × injection) grid: every scenario the
+    // 4×4 base admits, swept once serially and once across all cores; the
+    // operating points must be bit-identical. One cheap load point and a
+    // single policy per scenario keep the full-grid check affordable.
+    let base = baseline_4x4();
+    let loads = [0.08];
+    let policies = [PolicyKind::NoDvfs];
+    let loop_cfg = ClosedLoopConfig::quick();
+    let grid = scenario_grid(&base, true);
+    assert_eq!(grid.len(), 32, "4x4 admits the full 2 topo x 8 pattern x 2 process grid");
+    for scenario in grid {
+        let net = scenario.network(&base).expect("grid scenarios are valid");
+        let parallel = sweep_scenario(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        let serial = sweep_scenario_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(parallel, serial, "parity broke for {}", scenario.label());
+    }
+}
 
 #[test]
 fn golden_window_sequence_is_stable() {

@@ -1,0 +1,133 @@
+//! Property tests for the routing invariants on randomized mesh and torus
+//! topologies: routes terminate, stay on the topology, are minimal for the
+//! dimension-ordered algorithms, respect the dateline VC discipline, and
+//! `path_length` agrees with an independent hop-by-hop traversal.
+
+use noc_sim::{Direction, RoutingAlgorithm, Topology, TopologyKind, XyRouting, YxRouting};
+use proptest::prelude::*;
+
+fn arbitrary_topology() -> impl Strategy<Value = Topology> {
+    (
+        prop_oneof![Just(TopologyKind::Mesh), Just(TopologyKind::Torus)],
+        2usize..=6,
+        2usize..=6,
+    )
+        .prop_map(|(kind, w, h)| Topology::with_kind(kind, w, h))
+}
+
+fn algorithms() -> [(&'static str, Box<dyn RoutingAlgorithm>); 2] {
+    [
+        ("xy", Box::new(XyRouting::new()) as Box<dyn RoutingAlgorithm>),
+        ("yx", Box::new(YxRouting::new())),
+    ]
+}
+
+/// Walks the route hop by hop, independently of `path_length`, panicking if
+/// it leaves the topology or exceeds `limit` hops.
+fn walk(routing: &dyn RoutingAlgorithm, topo: &Topology, src: usize, dst: usize) -> usize {
+    let mut at = src;
+    let mut hops = 0;
+    let limit = topo.node_count() + 1;
+    while at != dst {
+        let dir = routing.route(topo, at, dst);
+        assert_ne!(dir, Direction::Local, "only the destination may route local");
+        let next = topo
+            .neighbor(at, dir)
+            .unwrap_or_else(|| panic!("route left the topology at node {at} going {dir}"));
+        at = next;
+        hops += 1;
+        assert!(hops <= limit, "route from {src} to {dst} did not terminate");
+    }
+    hops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Routes terminate, never step off the topology, and `path_length`
+    /// agrees with the independent hop-by-hop traversal for every pair.
+    #[test]
+    fn routes_terminate_on_the_topology(
+        topo in arbitrary_topology(),
+        src in 0usize..36,
+        dst in 0usize..36,
+    ) {
+        let n = topo.node_count();
+        let (src, dst) = (src % n, dst % n);
+        for (name, routing) in algorithms() {
+            let walked = walk(routing.as_ref(), &topo, src, dst);
+            prop_assert_eq!(
+                routing.path_length(&topo, src, dst),
+                walked,
+                "{} on {}: path_length disagrees with traversal {}->{}",
+                name, topo, src, dst
+            );
+        }
+    }
+
+    /// Dimension-ordered routing is minimal: exactly the topology's hop
+    /// distance (Manhattan on the mesh, shortest-way-around on the torus).
+    #[test]
+    fn dimension_ordered_routes_are_minimal(topo in arbitrary_topology(), seed in 0usize..1) {
+        let _ = seed;
+        for (name, routing) in algorithms() {
+            for src in 0..topo.node_count() {
+                for dst in 0..topo.node_count() {
+                    prop_assert_eq!(
+                        routing.path_length(&topo, src, dst),
+                        topo.hop_distance(src, dst),
+                        "{} on {}: {}->{} not minimal", name, topo, src, dst
+                    );
+                }
+            }
+        }
+    }
+
+    /// The destination (and only the destination) routes to the local port.
+    #[test]
+    fn only_the_destination_routes_local(
+        topo in arbitrary_topology(),
+        node in 0usize..36,
+    ) {
+        let node = node % topo.node_count();
+        for (_, routing) in algorithms() {
+            prop_assert_eq!(routing.route(&topo, node, node), Direction::Local);
+        }
+    }
+
+    /// Dateline classes are binary, always 0 on meshes, and monotone along a
+    /// route: once a packet enters class 1 it stays there until it switches
+    /// dimension — the discipline that keeps torus rings deadlock-free.
+    #[test]
+    fn vc_classes_respect_the_dateline_discipline(
+        topo in arbitrary_topology(),
+        src in 0usize..36,
+        dst in 0usize..36,
+    ) {
+        let n = topo.node_count();
+        let (src, dst) = (src % n, dst % n);
+        for (name, routing) in algorithms() {
+            let mut at = src;
+            let mut prev: Option<(Direction, u8)> = None;
+            while at != dst {
+                let dir = routing.route(&topo, at, dst);
+                let class = routing.next_vc_class(&topo, src, at, dst);
+                prop_assert!(class <= 1, "{name}: class must be 0 or 1");
+                if !topo.is_torus() {
+                    prop_assert_eq!(class, 0, "{} classes must stay 0 on meshes", name);
+                }
+                if let Some((prev_dir, prev_class)) = prev {
+                    if prev_dir == dir {
+                        // Same ring: the class may only go 0 -> 1, never back.
+                        prop_assert!(
+                            class >= prev_class,
+                            "{name} on {topo}: class fell from {prev_class} to {class}"
+                        );
+                    }
+                }
+                prev = Some((dir, class));
+                at = topo.neighbor(at, dir).expect("walk stays on the topology");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for every [`TrafficPattern`] and for the bursty source:
+//! destinations stay in range and are never the source itself, validation
+//! gates exactly the undefined combinations, and the deterministic patterns
+//! are permutations (of their non-fixed nodes) wherever their doc comments
+//! claim so.
+
+use noc_sim::{BurstyTraffic, Topology, TopologyKind, TrafficPattern, TrafficSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_topology() -> impl Strategy<Value = Topology> {
+    (
+        prop_oneof![Just(TopologyKind::Mesh), Just(TopologyKind::Torus)],
+        2usize..=6,
+        2usize..=6,
+    )
+        .prop_map(|(kind, w, h)| Topology::with_kind(kind, w, h))
+}
+
+fn arbitrary_pattern() -> impl Strategy<Value = TrafficPattern> {
+    (0usize..TrafficPattern::ALL.len()).prop_map(|i| TrafficPattern::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// For every pattern, topology and source: destinations are in range and
+    /// never `Some(src)`, across repeated draws (covers the random patterns).
+    #[test]
+    fn destinations_are_in_range_and_never_the_source(
+        topo in arbitrary_topology(),
+        pattern in arbitrary_pattern(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = topo.node_count();
+        for src in 0..n {
+            for _ in 0..8 {
+                if let Some(dst) = pattern.destination(src, &topo, &mut rng) {
+                    prop_assert!(dst < n, "{}: dst {} out of range on {}", pattern.name(), dst, topo);
+                    prop_assert!(dst != src, "{}: sent to self on {}", pattern.name(), topo);
+                }
+            }
+        }
+    }
+
+    /// Deterministic patterns are permutations wherever they are valid:
+    /// mapping every source to its destination (or itself, for the fixed
+    /// points that do not inject) hits every node exactly once. Random
+    /// patterns are excluded by `is_deterministic`.
+    #[test]
+    fn deterministic_patterns_are_permutations(
+        topo in arbitrary_topology(),
+        pattern in arbitrary_pattern(),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = topo.node_count();
+        if !pattern.is_deterministic() || pattern.validate_for(&topo).is_err() {
+            return;
+        }
+        let mut hit = vec![false; n];
+        for src in 0..n {
+            let image = pattern.destination(src, &topo, &mut rng).unwrap_or(src);
+            prop_assert!(
+                !hit[image],
+                "{} on {}: node {} hit twice", pattern.name(), topo, image
+            );
+            hit[image] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "{} on {}: not surjective", pattern.name(), topo);
+        // Determinism: a second pass with a different RNG maps identically.
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        for src in 0..n {
+            prop_assert_eq!(
+                pattern.destination(src, &topo, &mut rng),
+                pattern.destination(src, &topo, &mut rng2)
+            );
+        }
+    }
+
+    /// Validation gates exactly the undefined combinations: transpose off
+    /// square grids, bit permutations off power-of-two node counts —
+    /// everything else passes.
+    #[test]
+    fn validation_matches_the_pattern_domains(
+        topo in arbitrary_topology(),
+        pattern in arbitrary_pattern(),
+    ) {
+        let valid = pattern.validate_for(&topo).is_ok();
+        let expected = match pattern {
+            TrafficPattern::Transpose => topo.width() == topo.height(),
+            TrafficPattern::Shuffle | TrafficPattern::BitReverse => {
+                topo.node_count().is_power_of_two()
+            }
+            _ => true,
+        };
+        prop_assert_eq!(valid, expected, "{} on {}", pattern.name(), topo);
+    }
+
+    /// The bursty source honours the pattern contract (range, no self-sends)
+    /// and reports its configured average as the offered load.
+    #[test]
+    fn bursty_source_respects_the_pattern_contract(
+        topo in arbitrary_topology(),
+        pattern in arbitrary_pattern(),
+        rate in 0.01f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut traffic = BurstyTraffic::new(pattern, rate, 5, 50.0, 3.0);
+        prop_assert!((traffic.offered_load() - rate).abs() < 1e-12);
+        let n = topo.node_count();
+        for cycle in 0..400 {
+            let src = cycle % n;
+            if let Some(dst) = traffic.maybe_generate(src, &topo, &mut rng) {
+                prop_assert!(dst < n && dst != src, "{}: bad dst {}", pattern.name(), dst);
+            }
+        }
+    }
+}
