@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! cargo run --release -p noc-bench --bin bench_record -- [--out BENCH_sim_throughput.json] \
-//!     [--label current] [--merge existing.json] [--repeats 5] [--cycles 2000]
+//!     [--label current] [--merge existing.json] [--repeats 5] [--cycles 2000] \
+//!     [--filter CASE]
 //! ```
+//!
+//! `--filter` runs only the cases whose name contains the given substring
+//! (e.g. `--filter light_load`) — handy while iterating on one hot path;
+//! the full tracked suite should be recorded without a filter.
 //!
 //! Each case simulates a fixed number of NoC cycles and reports wall-clock
 //! cycles/second computed from the **best (minimum) time** over `--repeats`
@@ -103,6 +108,7 @@ fn main() {
     let mut merge: Option<String> = None;
     let mut repeats = 5usize;
     let mut cycles = 2_000u64;
+    let mut filter: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -126,9 +132,13 @@ fn main() {
                 cycles = args[i + 1].parse().expect("--cycles takes an integer");
                 i += 2;
             }
+            "--filter" if i + 1 < args.len() => {
+                filter = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_record [--out FILE] [--label NAME] [--merge FILE] [--repeats N] [--cycles N]");
+                eprintln!("usage: bench_record [--out FILE] [--label NAME] [--merge FILE] [--repeats N] [--cycles N] [--filter CASE]");
                 std::process::exit(1);
             }
         }
@@ -158,6 +168,10 @@ fn main() {
         ("5x5_paper_baseline_heavy_load", NetworkConfig::paper_baseline(), Box::new(uniform(0.35))),
         ("8x8_mesh_light_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), Box::new(uniform(0.05))),
         ("8x8_mesh_heavy_load", NetworkConfig::builder().mesh(8, 8).build().unwrap(), Box::new(uniform(0.35))),
+        // Size-independence probe for the sparse core: at a fixed light load
+        // the idle-router/idle-channel cost used to scale with node count, so
+        // 16x16 is where activity-proportional stepping pays the most.
+        ("16x16_mesh_light_load", NetworkConfig::builder().mesh(16, 16).build().unwrap(), Box::new(uniform(0.05))),
         (
             "5x5_torus_hotspot_bursty_heavy_load",
             NetworkConfig::builder().torus(5, 5).build().unwrap(),
@@ -165,15 +179,25 @@ fn main() {
         ),
     ];
 
+    let selected = |name: &str| filter.as_ref().is_none_or(|f| name.contains(f.as_str()));
     let mut results = Vec::new();
     for (name, cfg, make_traffic) in &cases {
+        if !selected(name) {
+            continue;
+        }
         let r = time_sim_case(name, cfg, make_traffic.as_ref(), cycles, repeats);
         eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
         results.push(r);
     }
-    let fig = time_figure_regen(repeats.min(3));
-    eprintln!("{:<35} {:>12.4} s wall-clock", fig.name, fig.secs);
-    results.push(fig);
+    if selected("fig2_regeneration_quick") {
+        let fig = time_figure_regen(repeats.min(3));
+        eprintln!("{:<35} {:>12.4} s wall-clock", fig.name, fig.secs);
+        results.push(fig);
+    }
+    if results.is_empty() {
+        eprintln!("--filter {:?} matched no benchmark case", filter.unwrap_or_default());
+        std::process::exit(1);
+    }
 
     // Preserve previously recorded runs (e.g. the pre-refactor baseline) by
     // splicing their top-level entries ahead of the new one.

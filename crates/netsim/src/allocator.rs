@@ -108,6 +108,29 @@ impl SeparableAllocator {
             self.members_per_group <= 64 && self.groups <= 64,
             "separable allocator supports at most 64 members and 64 groups"
         );
+        // Fast path: a lone request wins both stages unconditionally (a
+        // single-bit mask makes every arbiter pick that bit regardless of
+        // its rotating priority), so the stage machinery can be skipped.
+        // The arbiter commits below are exactly the ones the full path
+        // performs for a committed grant, keeping round-robin state — and
+        // therefore all downstream golden sequences — bit-identical. This is
+        // the dominant case at light load, where the sparse simulation core
+        // hands the allocator one ready flit at a time.
+        if let [req] = requests {
+            if req.group < self.groups
+                && req.member < self.members_per_group
+                && req.resource < self.resources
+            {
+                self.grants.push(AllocGrant {
+                    group: req.group,
+                    member: req.member,
+                    resource: req.resource,
+                });
+                self.output_arbiters[req.resource].commit(req.group);
+                self.input_arbiters[req.group].commit(req.member);
+            }
+            return &self.grants;
+        }
         // Stage 1: per-group arbitration among that group's requesting
         // members. One pass over the requests fills the per-group member
         // masks and the (group, member) → resource table; when a member
@@ -181,6 +204,25 @@ mod tests {
         let mut alloc = SeparableAllocator::new(3, 2, 4);
         let grants = alloc.allocate(&[req(1, 0, 2)]);
         assert_eq!(grants, vec![AllocGrant { group: 1, member: 0, resource: 2 }]);
+    }
+
+    #[test]
+    fn single_request_fast_path_rotates_arbiters_like_the_full_path() {
+        // After a lone grant to group 0, resource 0's round-robin pointer
+        // must sit past group 0 — so in the next contended round group 1
+        // wins, exactly as if the full two-stage path had arbitrated the
+        // lone request.
+        let mut alloc = SeparableAllocator::new(2, 2, 2);
+        let grants = alloc.allocate(&[req(0, 0, 0)]);
+        assert_eq!(grants, vec![AllocGrant { group: 0, member: 0, resource: 0 }]);
+        let contended = alloc.allocate(&[req(0, 0, 0), req(1, 0, 0)]);
+        assert_eq!(contended.len(), 1);
+        assert_eq!(contended[0].group, 1, "priority must have rotated past group 0");
+        // The winning group's input arbiter rotated too: with both members
+        // of group 0 requesting, member 1 now has priority.
+        let members = alloc.allocate(&[req(0, 0, 0), req(0, 1, 1)]);
+        assert_eq!(members.len(), 1);
+        assert_eq!(members[0].member, 1, "input priority must have rotated past member 0");
     }
 
     #[test]

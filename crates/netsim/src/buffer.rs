@@ -27,11 +27,13 @@ impl VcBuffer {
     }
 
     /// Number of flits currently stored.
+    #[inline]
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
     /// Whether the buffer holds no flits.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
@@ -61,6 +63,7 @@ impl VcBuffer {
     /// # Panics
     ///
     /// Panics if the buffer is already full (credit protocol violation).
+    #[inline]
     pub fn push(&mut self, flit: Flit) {
         assert!(!self.is_full(), "buffer overflow: credit protocol violated");
         self.slots.push_back(flit);
@@ -68,11 +71,13 @@ impl VcBuffer {
     }
 
     /// Removes and returns the flit at the front, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<Flit> {
         self.slots.pop_front()
     }
 
     /// Returns a reference to the flit at the front, if any.
+    #[inline]
     pub fn front(&self) -> Option<&Flit> {
         self.slots.front()
     }

@@ -17,6 +17,10 @@ pub const DEFAULT_NODE_FREQUENCY_HZ: f64 = 1.0e9;
 pub const DEFAULT_MIN_FREQUENCY_HZ: f64 = 333.0e6;
 /// Default maximum NoC frequency (1 GHz), the high end of the DVFS range.
 pub const DEFAULT_MAX_FREQUENCY_HZ: f64 = 1.0e9;
+/// Largest accepted link/credit latency in NoC cycles. The sparse simulation
+/// core keeps a due-list slot per latency cycle, so latencies must be
+/// bounded; the builder clamps to this value.
+pub const MAX_CHANNEL_LATENCY: u64 = 4096;
 
 /// Full configuration of a simulated NoC.
 ///
@@ -261,14 +265,22 @@ impl NetworkConfigBuilder {
     }
 
     /// Sets the link traversal latency in NoC cycles (default 1).
+    ///
+    /// Clamped to `1..=`[`MAX_CHANNEL_LATENCY`], mirroring the existing
+    /// clamp-to-one convention: the simulator's channel due-lists allocate
+    /// one slot per latency cycle, so the latency must be bounded (4096
+    /// cycles is orders of magnitude beyond any physical link).
     pub fn link_latency(mut self, cycles: u64) -> Self {
-        self.link_latency = cycles.max(1);
+        self.link_latency = cycles.clamp(1, MAX_CHANNEL_LATENCY);
         self
     }
 
     /// Sets the credit return latency in NoC cycles (default 1).
+    ///
+    /// Clamped to `1..=`[`MAX_CHANNEL_LATENCY`] (see
+    /// [`link_latency`](Self::link_latency)).
     pub fn credit_latency(mut self, cycles: u64) -> Self {
-        self.credit_latency = cycles.max(1);
+        self.credit_latency = cycles.clamp(1, MAX_CHANNEL_LATENCY);
         self
     }
 
@@ -421,6 +433,20 @@ mod tests {
         let cfg = NetworkConfig::builder().link_latency(0).credit_latency(0).build().unwrap();
         assert_eq!(cfg.link_latency(), 1);
         assert_eq!(cfg.credit_latency(), 1);
+    }
+
+    #[test]
+    fn channel_latencies_are_clamped_to_the_due_list_bound() {
+        // The sparse core allocates one due-list slot per latency cycle, so
+        // absurd latencies are clamped instead of exhausting memory at
+        // simulation construction.
+        let cfg = NetworkConfig::builder()
+            .link_latency(u64::MAX)
+            .credit_latency(1 << 40)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.link_latency(), MAX_CHANNEL_LATENCY);
+        assert_eq!(cfg.credit_latency(), MAX_CHANNEL_LATENCY);
     }
 
     #[test]

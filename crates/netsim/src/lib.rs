@@ -49,19 +49,30 @@
 //! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
 //! | [`allocator`] | separable input-first allocator | single pass over requests; persistent scratch, zero allocation per round |
 //! | [`router`] | the VC router pipeline (RC → VA → SA → ST) | flat VC arrays + per-port state bitmasks; appends into a caller-owned [`TraversalOutput`](router::TraversalOutput) |
-//! | [`link`] | inter-router flit and credit channels | callback delivery ([`DelayChannel::deliver`](link::DelayChannel::deliver)), no per-cycle `Vec` |
+//! | [`link`] | inter-router flit and credit channels | callback delivery ([`DelayChannel::deliver`](link::DelayChannel::deliver)), no per-cycle `Vec`; [`next_due`](link::DelayChannel::next_due) cursor feeds the driver's due-lists |
 //! | [`traffic`] | synthetic patterns, bursty sources and traffic matrices | — |
 //! | [`source`] | node-clock-driven packet generation | clone-free injection ([`Source::try_inject`](source::Source::try_inject)) |
 //! | [`sink`] | ejection and per-packet recording | flat counters, no per-packet map |
 //! | [`activity`] | switching-activity counters for power estimation | — |
 //! | [`stats`] | latency / delay / throughput statistics | — |
 //! | [`clock`] | dual-clock (node vs NoC) bookkeeping | per-cycle divisions cached on frequency change |
-//! | [`sim`] | the [`NocSimulation`] driver | owns the per-cycle scratch; see below |
+//! | [`sim`] | the [`NocSimulation`] driver | sparse activity-tracked stepping (worklists + channel due-lists); owns the per-cycle scratch; see below |
 //!
-//! ## Performance: the scratch-buffer contract
+//! ## Performance: sparse stepping and the scratch-buffer contract
 //!
-//! The steady-state cycle loop ([`NocSimulation::step`]) performs **zero heap
-//! allocations**. That property rests on a simple ownership contract:
+//! The cycle loop is **activity-tracked**: an active-router worklist (one
+//! `u64` bitset word per 64 nodes), per-channel due-lists (timing wheels
+//! keyed by delivery cycle) and a pending-source worklist make the per-cycle
+//! cost proportional to the flits actually moving, not to `nodes × ports`.
+//! Quiescent routers, empty channels and idle sources cost nothing. Packet
+//! generation keeps its exact per-node-per-cycle RNG draw order, so the
+//! sparse engine is bit-identical to the dense reference loop retained
+//! behind `NOC_DENSE_STEP=1` (see the [`sim`] module docs and the README's
+//! *Activity-tracked stepping* section for the quiescence contract).
+//!
+//! The steady-state cycle loop ([`NocSimulation::step`]) also performs
+//! **zero heap allocations**. That property rests on a simple ownership
+//! contract:
 //!
 //! * **Routers own their allocation scratch.** The request list reused by the
 //!   VA and SA stages and the grant buffers inside the two

@@ -47,6 +47,7 @@ impl<T> DelayChannel<T> {
 
     /// Sends an item at cycle `now`; it will become deliverable at
     /// `now + latency`.
+    #[inline]
     pub fn send(&mut self, now: u64, item: T) {
         self.in_flight.push_back((now + self.latency, item));
     }
@@ -63,6 +64,17 @@ impl<T> DelayChannel<T> {
                 break;
             }
         }
+    }
+
+    /// Delivery cycle of the oldest in-flight item, if any.
+    ///
+    /// This is the cursor the sparse simulation core polls instead of calling
+    /// [`deliver`](Self::deliver) on every channel every cycle: a channel with
+    /// `next_due() > now` (or `None`) provably delivers nothing at `now`, so
+    /// the driver keeps a due-list (timing wheel) of channels keyed by this
+    /// cycle and touches only the channels whose deliveries are due.
+    pub fn next_due(&self) -> Option<u64> {
+        self.in_flight.front().map(|(when, _)| *when)
     }
 
     /// Collects every due item into a fresh `Vec` — convenience for tests and
@@ -91,6 +103,19 @@ mod tests {
         assert!(ch.deliver_collect(11).is_empty());
         assert_eq!(ch.deliver_collect(12), vec!["a"]);
         assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn next_due_tracks_the_oldest_item() {
+        let mut ch = DelayChannel::new(3);
+        assert_eq!(ch.next_due(), None);
+        ch.send(10, 'a');
+        ch.send(12, 'b');
+        assert_eq!(ch.next_due(), Some(13));
+        assert_eq!(ch.deliver_collect(13), vec!['a']);
+        assert_eq!(ch.next_due(), Some(15));
+        assert_eq!(ch.deliver_collect(15), vec!['b']);
+        assert_eq!(ch.next_due(), None);
     }
 
     #[test]

@@ -151,6 +151,13 @@ pub struct Router {
     routing_mask: [u64; PORT_COUNT],
     /// Per-port bitmask of input VCs in the `VcAllocation` state.
     va_mask: [u64; PORT_COUNT],
+    /// Number of VCs in the `Routing` state across all ports — lets
+    /// [`rc_stage`](Self::rc_stage) return without scanning the per-port
+    /// masks in the common streaming case (body flits flowing, no new head).
+    routing_pending: u32,
+    /// Number of VCs in the `VcAllocation` state across all ports (same role
+    /// for [`va_stage`](Self::va_stage)).
+    va_pending: u32,
     /// Per-port bitmask of input VCs in the `Active` state.
     active_mask: [u64; PORT_COUNT],
     /// Per-port bitmask of output VCs *not* allocated to a packet.
@@ -205,6 +212,8 @@ impl Router {
             out_vc_rr: vec![0; PORT_COUNT],
             routing_mask: [0; PORT_COUNT],
             va_mask: [0; PORT_COUNT],
+            routing_pending: 0,
+            va_pending: 0,
             active_mask: [0; PORT_COUNT],
             free_out_mask: [all_vcs_free; PORT_COUNT],
             class_masks,
@@ -235,8 +244,40 @@ impl Router {
     }
 
     /// Adds `cycles` elapsed cycles to the activity window.
+    ///
+    /// Standalone harnesses that drive the pipeline stages directly can use
+    /// this to keep the `cycles` field meaningful. [`NocSimulation`]
+    /// (crate::NocSimulation) does **not** call it per cycle any more: the
+    /// sparse core skips quiescent routers entirely, so the driver accounts
+    /// elapsed cycles centrally when an activity window is taken.
     pub fn add_cycles(&mut self, cycles: u64) {
         self.activity.cycles += cycles;
+    }
+
+    /// Whether the router provably has nothing to do this cycle.
+    ///
+    /// Backed by the incrementally maintained in-flight buffer counter and
+    /// the per-port state bitmasks: with zero buffered flits, every pipeline
+    /// stage ([`rc_stage`](Self::rc_stage), [`va_stage`](Self::va_stage),
+    /// [`sa_st_stage`](Self::sa_st_stage)) is a no-op, because a VC in the
+    /// `Routing` or `VcAllocation` state always holds its head flit
+    /// (debug-asserted here). `active_mask` *may* be non-zero on a quiescent
+    /// router — a wormhole packet whose body flits are still in flight
+    /// upstream keeps its VC `Active` — but such a VC has nothing to forward
+    /// until [`accept_flit`](Self::accept_flit) re-activates the router.
+    ///
+    /// The simulation driver uses this predicate to maintain its
+    /// active-router worklist: a router is dropped from the worklist the
+    /// cycle it becomes quiescent and re-inserted by flit arrival.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        debug_assert!(
+            self.buffered > 0
+                || (self.routing_mask.iter().all(|&m| m == 0)
+                    && self.va_mask.iter().all(|&m| m == 0)),
+            "a VC waiting for RC/VA must have its head flit buffered"
+        );
+        self.buffered == 0
     }
 
     /// Control state of input VC (`port`, `vc`) — intended for tests and
@@ -280,6 +321,7 @@ impl Router {
             if front_is_head {
                 input.state = VcState::Routing;
                 self.routing_mask[in_port] |= 1u64 << vc;
+                self.routing_pending += 1;
             }
         }
     }
@@ -295,7 +337,7 @@ impl Router {
     /// the dateline VC class) of every head flit waiting in the `Routing`
     /// state.
     pub fn rc_stage(&mut self, topo: &Topology, routing: &dyn RoutingAlgorithm) {
-        if self.buffered == 0 {
+        if self.routing_pending == 0 {
             return;
         }
         for port in 0..PORT_COUNT {
@@ -306,6 +348,8 @@ impl Router {
             // Every VC in Routing state advances to VcAllocation this cycle.
             self.va_mask[port] |= mask;
             self.routing_mask[port] = 0;
+            self.va_pending += mask.count_ones();
+            self.routing_pending -= mask.count_ones();
             while mask != 0 {
                 let vc = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
@@ -328,7 +372,7 @@ impl Router {
     /// Virtual-channel allocation stage: assigns a free downstream VC to each
     /// winning head flit.
     pub fn va_stage(&mut self) {
-        if self.buffered == 0 {
+        if self.va_pending == 0 {
             return;
         }
         // Gather requests into the persistent scratch buffer: every input VC
@@ -387,6 +431,7 @@ impl Router {
             input.out_vc = Some(out_vc as u8);
             input.state = VcState::Active;
             self.va_mask[grant.group] &= !(1u64 << grant.member);
+            self.va_pending -= 1;
             self.active_mask[grant.group] |= 1u64 << grant.member;
             self.activity.vc_allocations += 1;
             self.out_vc_rr[out_port] = (out_vc + 1) % self.vcs;
@@ -467,6 +512,7 @@ impl Router {
                     debug_assert!(front.kind.is_head(), "flit following a tail must be a head");
                     input.state = VcState::Routing;
                     self.routing_mask[in_port] |= 1u64 << in_vc;
+                    self.routing_pending += 1;
                 }
             }
         }
@@ -664,6 +710,30 @@ mod tests {
         // packets separate on the shared link).
         let vcs: std::collections::HashSet<u8> = sent.iter().map(|s| s.flit.vc).collect();
         assert_eq!(vcs.len(), 2);
+    }
+
+    #[test]
+    fn quiescence_tracks_buffer_occupancy() {
+        let cfg = small_config();
+        let mesh = Mesh2d::new(3, 3);
+        let routing = XyRouting::new();
+        let mut router = Router::new(4, &cfg);
+        assert!(router.is_quiescent(), "a fresh router is quiescent");
+        // A lone head flit (body still "in flight") makes the router active.
+        let flits = packet(1, 4, 5, 3);
+        router.accept_flit(LOCAL_PORT, flits[0]);
+        assert!(!router.is_quiescent());
+        // The head traverses; its input VC stays Active awaiting the body,
+        // but with nothing buffered the router is quiescent again.
+        for _ in 0..4 {
+            step(&mut router, &mesh, &routing);
+        }
+        assert_eq!(router.buffered_flits(), 0);
+        assert!(router.is_quiescent(), "empty buffers => quiescent, even mid-packet");
+        assert_eq!(router.input_vc_state(LOCAL_PORT, 0), VcState::Active);
+        // A body flit re-activates it.
+        router.accept_flit(LOCAL_PORT, flits[1]);
+        assert!(!router.is_quiescent());
     }
 
     #[test]

@@ -80,12 +80,25 @@ impl Source {
         self.pending.len()
     }
 
+    /// Whether any flit is waiting to be injected.
+    ///
+    /// The simulation driver polls [`try_inject`](Self::try_inject) only for
+    /// sources with pending flits (tracked in a per-64-node bitset), so an
+    /// idle source costs nothing per cycle; a source that is merely blocked
+    /// on injection credits stays in the worklist — backed-up traffic *is*
+    /// activity.
+    #[inline]
+    pub fn has_pending_flits(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     /// Runs `node_cycles` node-clock cycles of packet generation.
     ///
     /// `next_packet_id` is a monotonically increasing counter shared across
     /// sources (owned by the simulation); newly generated packets consume ids
     /// from it.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub fn generate(
         &mut self,
         node_cycles: u64,

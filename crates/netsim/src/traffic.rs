@@ -227,6 +227,9 @@ pub struct SyntheticTraffic {
     pattern: TrafficPattern,
     injection_rate: f64,
     packet_length: usize,
+    /// Cached `min(rate / length, 1)` — drawn against once per node per node
+    /// cycle, so the division must not be repaid on every call.
+    packet_probability: f64,
 }
 
 impl SyntheticTraffic {
@@ -239,7 +242,8 @@ impl SyntheticTraffic {
     pub fn new(pattern: TrafficPattern, injection_rate: f64, packet_length: usize) -> Self {
         assert!(injection_rate.is_finite() && injection_rate >= 0.0);
         assert!(packet_length > 0);
-        SyntheticTraffic { pattern, injection_rate, packet_length }
+        let packet_probability = (injection_rate / packet_length as f64).min(1.0);
+        SyntheticTraffic { pattern, injection_rate, packet_length, packet_probability }
     }
 
     /// The pattern followed by this source.
@@ -263,8 +267,7 @@ impl TrafficSpec for SyntheticTraffic {
     }
 
     fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
-        let p = (self.injection_rate / self.packet_length as f64).min(1.0);
-        if rng.gen_bool(p) {
+        if rng.gen_bool(self.packet_probability) {
             self.pattern.destination(src, topo, rng)
         } else {
             None
@@ -290,6 +293,9 @@ pub struct BurstyTraffic {
     injection_rate: f64,
     packet_length: usize,
     burst_rate: f64,
+    /// Cached `min(burst_rate / length, 1)` — the ON-state per-cycle draw
+    /// probability (see [`SyntheticTraffic::packet_probability`]).
+    burst_probability: f64,
     p_on_to_off: f64,
     p_off_to_on: f64,
     on: Vec<bool>,
@@ -344,6 +350,7 @@ impl BurstyTraffic {
             injection_rate,
             packet_length,
             burst_rate,
+            burst_probability: (burst_rate / packet_length as f64).min(1.0),
             p_on_to_off,
             p_off_to_on,
             on: Vec::new(),
@@ -389,8 +396,7 @@ impl TrafficSpec for BurstyTraffic {
         if !self.on[src] {
             return None;
         }
-        let p = (self.burst_rate / self.packet_length as f64).min(1.0);
-        if rng.gen_bool(p) {
+        if rng.gen_bool(self.burst_probability) {
             self.pattern.destination(src, topo, rng)
         } else {
             None
@@ -407,6 +413,9 @@ impl TrafficSpec for BurstyTraffic {
 pub struct MatrixTraffic {
     rates: Vec<Vec<f64>>,
     row_totals: Vec<f64>,
+    /// Cached per-row `min(total / length, 1)` draw probabilities (see
+    /// [`SyntheticTraffic::packet_probability`]).
+    row_probabilities: Vec<f64>,
     packet_length: usize,
 }
 
@@ -427,8 +436,12 @@ impl MatrixTraffic {
                 assert!(r.is_finite() && r >= 0.0, "rates must be non-negative and finite");
             }
         }
-        let row_totals = rates.iter().map(|row| row.iter().sum()).collect();
-        MatrixTraffic { rates, row_totals, packet_length }
+        let row_totals: Vec<f64> = rates.iter().map(|row| row.iter().sum()).collect();
+        let row_probabilities = row_totals
+            .iter()
+            .map(|&total| (total / packet_length as f64).min(1.0))
+            .collect();
+        MatrixTraffic { rates, row_totals, row_probabilities, packet_length }
     }
 
     /// Number of nodes covered by the matrix.
@@ -479,8 +492,7 @@ impl TrafficSpec for MatrixTraffic {
         if total <= 0.0 {
             return None;
         }
-        let p = (total / self.packet_length as f64).min(1.0);
-        if !rng.gen_bool(p) {
+        if !rng.gen_bool(self.row_probabilities[src]) {
             return None;
         }
         // Choose the destination proportionally to its rate.

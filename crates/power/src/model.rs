@@ -183,6 +183,15 @@ impl RouterPowerModel {
     }
 
     /// Energy consumed by the whole NoC over an interval.
+    ///
+    /// Idle routers take a fast path: their switching-event energy is exactly
+    /// zero, so their contribution is the clock-tree + leakage energy, which
+    /// depends only on `(frequency, vdd, duration_ps)` and is computed once
+    /// per call. For a drained network between measurement windows (a light
+    /// DVFS sweep's common case) the per-interval cost collapses from one
+    /// full energy evaluation per router to one total. The per-router value
+    /// is the same `f64` either way, and routers are folded in the same
+    /// order, so the result is bit-identical to the naive loop.
     pub fn network_energy(
         &self,
         activity: &NetworkActivity,
@@ -190,10 +199,17 @@ impl RouterPowerModel {
         vdd: Volts,
         duration_ps: f64,
     ) -> EnergyBreakdown {
+        let idle = self.router_energy(&RouterActivity::new(), frequency, vdd, duration_ps);
         activity
             .routers
             .iter()
-            .map(|r| self.router_energy(r, frequency, vdd, duration_ps))
+            .map(|r| {
+                if r.is_idle() {
+                    idle
+                } else {
+                    self.router_energy(r, frequency, vdd, duration_ps)
+                }
+            })
             .fold(EnergyBreakdown::default(), |acc, e| acc + e)
     }
 
@@ -208,9 +224,14 @@ impl RouterPowerModel {
     ) -> PowerReport {
         assert!(duration_ps > 0.0, "power needs a positive interval");
         let duration_ns = duration_ps / 1.0e3;
+        let idle = self.router_energy(&RouterActivity::new(), frequency, vdd, duration_ps);
         let mut report = PowerReport::new();
         for router in &activity.routers {
-            let e = self.router_energy(router, frequency, vdd, duration_ps);
+            let e = if router.is_idle() {
+                idle
+            } else {
+                self.router_energy(router, frequency, vdd, duration_ps)
+            };
             report.per_router_mw.push(e.total_pj() / duration_ns);
             report.dynamic_mw += e.dynamic_pj / duration_ns;
             report.static_mw += e.static_pj / duration_ns;
@@ -241,6 +262,27 @@ mod tests {
             ejected_flits: 0,
             cycles,
         }
+    }
+
+    #[test]
+    fn idle_fast_path_is_bit_identical_to_the_naive_fold() {
+        let model = RouterPowerModel::new();
+        let tech = FdsoiTech::new();
+        let f = Hertz::from_mhz(600.0);
+        let vdd = tech.vdd_for_frequency(f);
+        let duration_ps = 2.5e6;
+        // Mostly idle network with one busy router: the shape the fast path
+        // targets (a drained network between measurement windows).
+        let mut net = NetworkActivity::new(5);
+        net.routers[2] = busy_activity(1_000, 321);
+        let fast = model.network_energy(&net, f, vdd, duration_ps);
+        let naive = net
+            .routers
+            .iter()
+            .map(|r| model.router_energy(r, f, vdd, duration_ps))
+            .fold(EnergyBreakdown::default(), |acc, e| acc + e);
+        assert_eq!(fast.dynamic_pj.to_bits(), naive.dynamic_pj.to_bits());
+        assert_eq!(fast.static_pj.to_bits(), naive.static_pj.to_bits());
     }
 
     #[test]

@@ -2,10 +2,14 @@
 # Runs the tracked simulator-throughput benchmark suite with fixed sample
 # counts and records the results into BENCH_sim_throughput.json at the repo
 # root. Pass --merge to append to the existing artifact (keeping earlier runs,
-# e.g. the pre-refactor baseline) instead of overwriting it.
+# e.g. the pre-refactor baseline) instead of overwriting it; pass --filter to
+# run a subset of cases while iterating (tracked runs should stay unfiltered).
 #
 # Usage:
-#   scripts/bench.sh [--label NAME] [--merge] [--repeats N] [--cycles N]
+#   scripts/bench.sh [--label NAME] [--merge] [--repeats N] [--cycles N] [--filter CASE]
+#
+# The PR-3 sparse-core run recorded in the artifact was produced with:
+#   scripts/bench.sh --label pr3_sparse_core --merge
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,12 +17,14 @@ LABEL="current"
 MERGE=""
 REPEATS=5
 CYCLES=4000
+FILTER=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --label) LABEL="$2"; shift 2 ;;
         --merge) MERGE="--merge BENCH_sim_throughput.json"; shift ;;
         --repeats) REPEATS="$2"; shift 2 ;;
         --cycles) CYCLES="$2"; shift 2 ;;
+        --filter) FILTER="--filter $2"; shift 2 ;;
         *) echo "unknown argument: $1" >&2; exit 1 ;;
     esac
 done
@@ -30,4 +36,5 @@ cargo build --release -p noc-bench
     --out BENCH_sim_throughput.json \
     --repeats "$REPEATS" \
     --cycles "$CYCLES" \
+    $FILTER \
     $MERGE

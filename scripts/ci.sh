@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# The full local CI gate: release build, the complete test suite, and clippy
-# with warnings promoted to errors. Run before every push.
+# The full local CI gate: release build, the complete test suite, clippy with
+# warnings promoted to errors, and the determinism goldens a second time on
+# the dense reference stepping loop. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
 cargo build --release
 
-# The property suites (tests/{routing,traffic,simulator,policy}_properties.rs)
-# run as part of the workspace test pass below. Their inputs are sampled from
-# per-case fixed seeds (see the proptest shim), so runs are reproducible;
-# PROPTEST_CASES pins the case budget explicitly so local and CI runs cover
-# the same corpus.
+# The property suites (tests/{routing,traffic,simulator,policy}_properties.rs
+# and tests/sparse_equivalence.rs) run as part of the workspace test pass
+# below. Their inputs are sampled from per-case fixed seeds (see the proptest
+# shim), so runs are reproducible; PROPTEST_CASES pins the case budget
+# explicitly so local and CI runs cover the same corpus.
 echo "==> cargo test -q (property suites at PROPTEST_CASES=${PROPTEST_CASES:-64}, fixed seeds)"
 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q
+
+# The sparse activity-tracked engine is the default; the dense O(nodes×ports)
+# reference loop must never rot, so the determinism goldens and the
+# differential suite run a second time with NOC_DENSE_STEP=1 forcing every
+# simulation (including the ones inside the sweep engines) onto the dense
+# path. The golden window constants are engine-independent by contract.
+echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence (dense reference loop)"
+NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

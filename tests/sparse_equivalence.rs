@@ -1,0 +1,305 @@
+//! Differential suite for the sparse activity-tracked simulation core.
+//!
+//! The sparse engine (active-router worklist + channel due-lists) is a pure
+//! scheduling optimization: it must produce **bit-identical**
+//! [`WindowMeasurement`] sequences to the dense `O(nodes × ports)` reference
+//! loop retained behind `NOC_DENSE_STEP=1` /
+//! [`NocSimulation::set_dense_stepping`]. Three contracts are pinned here:
+//!
+//! 1. **Differential equivalence** — randomized scenarios from the PR-2 grid
+//!    (mesh/torus × every pattern × Bernoulli/bursty injection, random link
+//!    and credit latencies, mid-run frequency changes) stepped by both
+//!    engines produce identical window sequences and aggregate stats.
+//! 2. **Quiescence invariant** — the active-router worklist is empty exactly
+//!    when no flit is buffered; a drained network is quiescent (no buffered,
+//!    queued, or in-flight payloads) and stays so at zero cost.
+//! 3. **RNG-stream identity** — the `step()` short-circuit for NoC cycles in
+//!    which zero node cycles complete performs zero RNG draws, so runs where
+//!    the NoC outpaces the node clock stay bit-identical too.
+
+use noc_sim::{
+    BurstyTraffic, Hertz, NetworkConfig, NocSimulation, SyntheticTraffic, Topology, TopologyKind,
+    TrafficPattern, TrafficSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 4×4 grid of either topology with randomized channel latencies — every
+/// pattern in [`TrafficPattern::ALL`] is valid on it (square, power-of-two
+/// node count).
+fn grid_cfg(kind: TopologyKind, link_latency: u64, credit_latency: u64) -> NetworkConfig {
+    // `.mesh(4, 4)` sets the dimensions AND resets the kind to Mesh, so the
+    // topology override must come after it.
+    NetworkConfig::builder()
+        .mesh(4, 4)
+        .topology(kind)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(4)
+        .link_latency(link_latency)
+        .credit_latency(credit_latency)
+        .build()
+        .expect("4x4 grid configurations are valid")
+}
+
+fn scenario_traffic(
+    pattern: TrafficPattern,
+    rate: f64,
+    packet_length: usize,
+    bursty: bool,
+) -> Box<dyn TrafficSpec> {
+    if bursty {
+        Box::new(BurstyTraffic::new(pattern, rate, packet_length, 200.0, 4.0))
+    } else {
+        Box::new(SyntheticTraffic::new(pattern, rate, packet_length))
+    }
+}
+
+/// Runs `sim` through the window schedule, returning the window sequence.
+/// A frequency change after the second window exercises the dual-clock path
+/// (including NoC cycles with zero completed node cycles after the change is
+/// reverted — the NoC never exceeds the node clock here, but the windows
+/// still cover two different clock ratios).
+fn window_sequence(sim: &mut NocSimulation, chunks: &[u64]) -> Vec<noc_sim::WindowMeasurement> {
+    let mut windows = Vec::with_capacity(chunks.len());
+    for (i, &cycles) in chunks.iter().enumerate() {
+        if i == 2 {
+            sim.set_noc_frequency(Hertz::from_mhz(500.0));
+        }
+        if i == 4 {
+            sim.set_noc_frequency(Hertz::from_ghz(1.0));
+        }
+        sim.run_cycles(cycles);
+        windows.push(sim.take_window());
+    }
+    windows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Sparse and dense stepping produce bit-identical window sequences and
+    /// aggregate statistics across the randomized scenario grid.
+    #[test]
+    fn sparse_and_dense_stepping_are_bit_identical(
+        kind in prop_oneof![Just(TopologyKind::Mesh), Just(TopologyKind::Torus)],
+        pattern_idx in 0usize..TrafficPattern::ALL.len(),
+        bursty in prop_oneof![Just(false), Just(true)],
+        rate in 0.02f64..0.35,
+        link_latency in 1u64..=3,
+        credit_latency in 1u64..=2,
+        seed in 0u64..1_000_000,
+        chunk in 80u64..320,
+    ) {
+        let pattern = TrafficPattern::ALL[pattern_idx];
+        let cfg = grid_cfg(kind, link_latency, credit_latency);
+        let mut sparse = NocSimulation::new(
+            cfg.clone(),
+            scenario_traffic(pattern, rate, cfg.packet_length(), bursty),
+            seed,
+        );
+        let mut dense = NocSimulation::new(
+            cfg.clone(),
+            scenario_traffic(pattern, rate, cfg.packet_length(), bursty),
+            seed,
+        );
+        sparse.set_dense_stepping(false);
+        dense.set_dense_stepping(true);
+        let chunks = [chunk, 2 * chunk, chunk / 2 + 1, chunk, chunk + 37, chunk];
+        let ws = window_sequence(&mut sparse, &chunks);
+        let wd = window_sequence(&mut dense, &chunks);
+        prop_assert_eq!(ws, wd, "windows diverged for {}/{:?}/{} seed {}",
+            kind.name(), pattern, if bursty { "bursty" } else { "bernoulli" }, seed);
+        prop_assert_eq!(sparse.stats(), dense.stats());
+        prop_assert_eq!(sparse.total_packets_delivered(), dense.total_packets_delivered());
+        prop_assert_eq!(sparse.queued_source_flits(), dense.queued_source_flits());
+        prop_assert_eq!(sparse.buffered_network_flits(), dense.buffered_network_flits());
+        prop_assert_eq!(sparse.in_flight_flits(), dense.in_flight_flits());
+        prop_assert_eq!(sparse.in_flight_credits(), dense.in_flight_credits());
+    }
+
+    /// The active-router worklist is empty exactly when no flit is buffered,
+    /// and a drained network satisfies the full quiescence contract.
+    #[test]
+    fn quiescence_invariant_holds_through_drain(
+        kind in prop_oneof![Just(TopologyKind::Mesh), Just(TopologyKind::Torus)],
+        budget in 5u64..60,
+        rate in 0.05f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = grid_cfg(kind, 1, 1);
+        let traffic = FiniteTraffic { budget, rate, packet_length: cfg.packet_length() };
+        let mut sim = NocSimulation::new(cfg.clone(), Box::new(traffic), seed);
+        let mut drained_at = None;
+        for chunk in 0..60 {
+            sim.run_cycles(50);
+            // The worklist invariant holds at every observation point, loaded
+            // or not: active set empty ⇔ no buffered flits.
+            prop_assert_eq!(
+                sim.active_router_count() == 0,
+                sim.buffered_network_flits() == 0,
+                "worklist out of sync in chunk {}", chunk
+            );
+            if sim.is_quiescent() {
+                drained_at = Some(chunk);
+                break;
+            }
+        }
+        prop_assert!(drained_at.is_some(), "a finite workload must drain within 3000 cycles");
+        // The quiescence contract: nothing buffered, queued or in flight, and
+        // every generated packet fully delivered.
+        prop_assert_eq!(sim.active_router_count(), 0);
+        prop_assert_eq!(sim.buffered_network_flits(), 0);
+        prop_assert_eq!(sim.queued_source_flits(), 0);
+        prop_assert_eq!(sim.in_flight_flits(), 0);
+        prop_assert_eq!(sim.in_flight_credits(), 0);
+        prop_assert_eq!(
+            sim.total_packets_delivered() * cfg.packet_length() as u64,
+            sim.total_flits_generated(),
+            "a drained network has delivered every generated flit"
+        );
+        // A quiescent network stays quiescent, and its windows show pure
+        // clock progress with zero traffic.
+        let _ = sim.take_window();
+        sim.run_cycles(500);
+        prop_assert!(sim.is_quiescent());
+        let w = sim.take_window();
+        prop_assert_eq!(w.noc_cycles, 500);
+        prop_assert_eq!(w.flits_generated, 0);
+        prop_assert_eq!(w.flits_injected, 0);
+        prop_assert_eq!(w.flits_ejected, 0);
+    }
+}
+
+/// Traffic that offers Bernoulli uniform load for the first `budget`
+/// node-cycle sweeps and then goes silent — lets a run drain completely.
+#[derive(Debug)]
+struct FiniteTraffic {
+    budget: u64,
+    rate: f64,
+    packet_length: usize,
+}
+
+impl TrafficSpec for FiniteTraffic {
+    fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+    fn offered_load(&self) -> f64 {
+        self.rate
+    }
+    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+        if self.budget == 0 {
+            return None;
+        }
+        if src + 1 == topo.node_count() {
+            self.budget -= 1;
+        }
+        use rand::Rng;
+        let p = self.rate / self.packet_length as f64;
+        if rng.gen_bool(p) {
+            TrafficPattern::Uniform.destination(src, topo, rng)
+        } else {
+            None
+        }
+    }
+}
+
+/// The two checked-in golden scenarios (`tests/determinism.rs`) stepped by
+/// both engines side by side: the dense loop cannot drift from the sparse
+/// one on exactly the sequences the goldens pin.
+#[test]
+fn golden_scenarios_are_engine_independent() {
+    let mesh = NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap();
+    let torus = NetworkConfig::builder()
+        .torus(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap();
+    type TrafficFactory = Box<dyn Fn() -> Box<dyn TrafficSpec>>;
+    let scenarios: [(NetworkConfig, TrafficFactory); 2] = [
+        (
+            mesh,
+            Box::new(|| Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.10, 5))),
+        ),
+        (
+            torus,
+            Box::new(|| Box::new(BurstyTraffic::new(TrafficPattern::Hotspot, 0.10, 5, 200.0, 4.0))),
+        ),
+    ];
+    for (cfg, make_traffic) in &scenarios {
+        let mut sparse = NocSimulation::new(cfg.clone(), make_traffic(), 2015);
+        let mut dense = NocSimulation::new(cfg.clone(), make_traffic(), 2015);
+        sparse.set_dense_stepping(false);
+        dense.set_dense_stepping(true);
+        for window in 0..6 {
+            sparse.run_cycles(500);
+            dense.run_cycles(500);
+            assert_eq!(
+                sparse.take_window(),
+                dense.take_window(),
+                "golden scenario window {window} diverged between engines"
+            );
+        }
+        assert_eq!(sparse.stats(), dense.stats());
+    }
+}
+
+/// Regression for the `step()` short-circuit: when a NoC cycle completes
+/// zero node-clock cycles, the generation phase is skipped entirely — which
+/// is only sound because `Source::generate` with zero cycles performs zero
+/// RNG draws. Pinned directly on the source, then end-to-end on a
+/// configuration whose NoC clock outpaces the node clock.
+#[test]
+fn zero_node_cycle_short_circuit_preserves_the_rng_stream() {
+    // Direct: generate(0, ..) must leave the shared RNG untouched.
+    let topo = Topology::with_kind(TopologyKind::Mesh, 4, 4);
+    let mut traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.9, 4);
+    let mut source = noc_sim::source::Source::new(0, 2, 4);
+    let mut rng = StdRng::seed_from_u64(99);
+    let untouched = rng.clone();
+    let mut next_id = 0;
+    source.generate(0, &mut traffic, &topo, &mut rng, &mut next_id, 0, 0.0);
+    assert_eq!(rng, untouched, "zero node cycles must draw nothing from the RNG");
+    assert_eq!(source.flits_generated(), 0);
+
+    // End to end: node clock at 400 MHz under a 1 GHz NoC clock means ~60 %
+    // of NoC cycles complete zero node cycles, so the short-circuit fires
+    // constantly; sparse and dense must still agree bit-for-bit.
+    let cfg = NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(4)
+        .node_frequency(Hertz::from_mhz(400.0))
+        .build()
+        .unwrap();
+    let mk = || Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.2, 4));
+    let mut sparse = NocSimulation::new(cfg.clone(), mk(), 7);
+    let mut dense = NocSimulation::new(cfg, mk(), 7);
+    sparse.set_dense_stepping(false);
+    dense.set_dense_stepping(true);
+    let mut windows = Vec::new();
+    for _ in 0..5 {
+        sparse.run_cycles(400);
+        dense.run_cycles(400);
+        let w = sparse.take_window();
+        assert_eq!(w, dense.take_window());
+        windows.push(w);
+    }
+    // The scenario really exercises the skip: fewer node cycles than NoC
+    // cycles, yet traffic still flows.
+    let node_cycles: u64 = windows.iter().map(|w| w.node_cycles).sum();
+    let noc_cycles: u64 = windows.iter().map(|w| w.noc_cycles).sum();
+    assert!(node_cycles < noc_cycles / 2, "node clock must lag the NoC clock");
+    assert!(windows.iter().map(|w| w.flits_ejected).sum::<u64>() > 0);
+    assert_eq!(sparse.stats(), dense.stats());
+}
