@@ -20,7 +20,8 @@
 
 use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
 use noc_sim::{
-    BurstyTraffic, NetworkConfig, NocSimulation, SyntheticTraffic, TrafficPattern, TrafficSpec,
+    BurstyTraffic, NetworkConfig, NocSimulation, RegionLayout, SyntheticTraffic, TrafficPattern,
+    TrafficSpec,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -176,6 +177,16 @@ fn main() {
             "5x5_torus_hotspot_bursty_heavy_load",
             NetworkConfig::builder().torus(5, 5).build().unwrap(),
             Box::new(torus_hotspot_bursty(0.35)),
+        ),
+        // Voltage-frequency island bookkeeping probe: the quadrant
+        // partition with every island at the base rate isolates the cost of
+        // the per-island window/fire accounting itself — the number to
+        // compare against 8x8_mesh_light_load for "no regression from
+        // island bookkeeping".
+        (
+            "8x8_vfi_quadrants_light_load",
+            NetworkConfig::builder().mesh(8, 8).regions(RegionLayout::Quadrants).build().unwrap(),
+            Box::new(uniform(0.05)),
         ),
     ];
 

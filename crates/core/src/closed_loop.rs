@@ -139,6 +139,34 @@ impl OperatingPointResult {
 /// * `loop_cfg` — control-loop timing (see [`ClosedLoopConfig`]);
 /// * `seed` — RNG seed making the run reproducible.
 ///
+/// This is the single-clock (global DVFS) loop of the paper; for per-island
+/// control over a partitioned network see
+/// [`run_operating_point_islands`](crate::run_operating_point_islands).
+///
+/// ```
+/// use noc_dvfs::{run_operating_point, ClosedLoopConfig, PolicyKind, RmsdConfig};
+/// use noc_sim::{NetworkConfig, SyntheticTraffic, TrafficPattern};
+///
+/// let net = NetworkConfig::builder()
+///     .mesh(4, 4)
+///     .virtual_channels(2)
+///     .buffer_depth(4)
+///     .packet_length(5)
+///     .build()
+///     .unwrap();
+/// let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.08, 5);
+/// let point = run_operating_point(
+///     &net,
+///     Box::new(traffic),
+///     PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+///     &ClosedLoopConfig::quick(),
+///     1,
+/// );
+/// // Light load: RMSD slows the clock below the 1 GHz maximum.
+/// assert!(point.avg_frequency_ghz < 1.0);
+/// assert!(point.packets_delivered > 0);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `loop_cfg` is invalid (zero intervals or period).
@@ -270,8 +298,10 @@ pub fn run_operating_point(
     }
 }
 
-/// Number of NoC cycles that fit in one control period at frequency `f`.
-fn interval_cycles(period_ps: f64, f: Hertz) -> u64 {
+/// Number of NoC cycles that fit in one control period at frequency `f`
+/// (shared with the per-island loop in [`crate::island`], where `f` is the
+/// base — fastest-island — clock).
+pub(crate) fn interval_cycles(period_ps: f64, f: Hertz) -> u64 {
     ((period_ps / f.period().as_ps()).round() as u64).max(1)
 }
 

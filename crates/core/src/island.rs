@@ -1,0 +1,482 @@
+//! Per-island DVFS: independent controller instances over the
+//! voltage-frequency island partition of a network.
+//!
+//! The paper scales one global NoC clock. Real SoCs partition the fabric
+//! into **voltage-frequency islands** (VFIs) and run one DVFS loop per
+//! island. This module lifts every policy of the paper to that setting:
+//!
+//! * [`MultiIslandController`] instantiates one [`DvfsPolicy`] (No-DVFS,
+//!   RMSD or the PI-based DMSD) per island and feeds each from its island's
+//!   own [`WindowMeasurement`];
+//! * [`run_operating_point_islands`] is the island analogue of
+//!   [`run_operating_point`](crate::run_operating_point): it co-simulates
+//!   the network, the per-island controllers and the power model, and
+//!   reports the aggregate operating point plus one
+//!   [`IslandSummary`] per island — including the island's
+//!   frequency/voltage residency ([`FrequencyResidency`]).
+//!
+//! With the default single-island partition the per-island machinery
+//! degenerates to exactly the global loop: same measurements, one
+//! controller, one residency.
+
+use crate::closed_loop::{interval_cycles, ClosedLoopConfig, OperatingPointResult};
+use crate::policy::{ControlMeasurement, DvfsPolicy, PolicyKind};
+use noc_power::{model::EnergyBreakdown, FdsoiTech, FrequencyResidency, RouterPowerModel};
+use noc_sim::{Hertz, NetworkConfig, NocSimulation, TrafficSpec, WindowMeasurement};
+use serde::{Deserialize, Serialize};
+
+/// One DVFS controller instance per voltage-frequency island.
+///
+/// Each island's controller is an independent instance of the same policy
+/// (its own PI integrator, its own smoothing state), sized to the island's
+/// node count; the islands only interact through the network traffic itself.
+#[derive(Debug)]
+pub struct MultiIslandController {
+    controllers: Vec<Box<dyn DvfsPolicy>>,
+    node_counts: Vec<usize>,
+    frequencies: Vec<Hertz>,
+}
+
+impl MultiIslandController {
+    /// Builds one controller per island of `net`'s region partition,
+    /// starting every island at the maximum frequency.
+    pub fn new(policy: &PolicyKind, net: &NetworkConfig) -> Self {
+        let node_counts = net.region_map().node_counts().to_vec();
+        let controllers = node_counts.iter().map(|_| policy.build(net)).collect();
+        let frequencies = vec![net.max_frequency(); node_counts.len()];
+        MultiIslandController { controllers, node_counts, frequencies }
+    }
+
+    /// Number of islands under control.
+    pub fn island_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The frequency most recently chosen for each island (initially the
+    /// maximum frequency).
+    pub fn frequencies(&self) -> &[Hertz] {
+        &self.frequencies
+    }
+
+    /// Feeds every island's controller its island window (as produced by
+    /// [`NocSimulation::take_island_windows`]) and returns the frequencies
+    /// to apply for the next control interval, indexed by island id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` does not hold exactly one window per island.
+    pub fn next_frequencies(&mut self, windows: &[WindowMeasurement]) -> &[Hertz] {
+        assert_eq!(windows.len(), self.controllers.len(), "one window per island required");
+        for (island, window) in windows.iter().enumerate() {
+            let measurement = ControlMeasurement {
+                window: *window,
+                node_count: self.node_counts[island],
+                current_frequency: self.frequencies[island],
+            };
+            self.frequencies[island] = self.controllers[island].next_frequency(&measurement);
+        }
+        &self.frequencies
+    }
+
+    /// Clears every controller's internal state and restores all islands to
+    /// `initial` (typically the maximum frequency).
+    pub fn reset(&mut self, initial: Hertz) {
+        for (controller, f) in self.controllers.iter_mut().zip(self.frequencies.iter_mut()) {
+            controller.reset();
+            *f = initial;
+        }
+    }
+}
+
+/// The measured behaviour of one island over the measurement phase of
+/// [`run_operating_point_islands`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandSummary {
+    /// Island id (index into the region partition).
+    pub island: usize,
+    /// Number of nodes in the island.
+    pub nodes: usize,
+    /// Frequency/voltage residency and energy of the island over the
+    /// measurement phase (time-weighted averages, per-level histogram).
+    pub residency: FrequencyResidency,
+    /// Average injection rate of the island's sources, flits per node cycle
+    /// per node.
+    pub measured_rate: f64,
+    /// Average end-to-end delay of the packets ejected in this island,
+    /// nanoseconds (0 when no packet terminated here).
+    pub avg_delay_ns: f64,
+    /// Island domain cycles completed during the measurement phase.
+    pub domain_cycles: u64,
+}
+
+/// Aggregate + per-island result of one island-controlled operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandOperatingPointResult {
+    /// The network-level operating point (power, delay, throughput — the
+    /// same shape every sweep and figure driver consumes). The
+    /// `avg_frequency_ghz`/`avg_vdd` fields are node-weighted averages over
+    /// the islands.
+    pub aggregate: OperatingPointResult,
+    /// Per-island measurements, indexed by island id.
+    pub islands: Vec<IslandSummary>,
+}
+
+impl IslandOperatingPointResult {
+    /// The spread between the fastest and slowest island's time-averaged
+    /// frequency, gigahertz — 0 on a single island, and a direct measure of
+    /// how much per-island control actually differentiated the domains.
+    pub fn frequency_spread_ghz(&self) -> f64 {
+        let freqs = self.islands.iter().map(|i| i.residency.avg_frequency_ghz());
+        let max = freqs.clone().fold(f64::NEG_INFINITY, f64::max);
+        let min = freqs.fold(f64::INFINITY, f64::min);
+        if max.is_finite() && min.is_finite() { max - min } else { 0.0 }
+    }
+}
+
+/// Runs one closed-loop operating point with **per-island DVFS control**:
+/// the island analogue of [`run_operating_point`](crate::run_operating_point).
+///
+/// Every island of `net`'s region partition gets an independent instance of
+/// `policy` fed by its own per-island measurement window; the power model
+/// integrates each island's activity at that island's `(frequency, Vdd)`
+/// operating level. On the default single-island partition the aggregate
+/// result matches the global loop's semantics (one controller, one domain).
+///
+/// ```
+/// use noc_dvfs::island::run_operating_point_islands;
+/// use noc_dvfs::{ClosedLoopConfig, PolicyKind, RmsdConfig};
+/// use noc_sim::{NetworkConfig, RegionLayout, SyntheticTraffic, TrafficPattern};
+///
+/// let net = NetworkConfig::builder()
+///     .mesh(4, 4)
+///     .virtual_channels(2)
+///     .buffer_depth(4)
+///     .packet_length(5)
+///     .regions(RegionLayout::Quadrants)
+///     .build()
+///     .unwrap();
+/// let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.08, 5);
+/// let point = run_operating_point_islands(
+///     &net,
+///     Box::new(traffic),
+///     PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+///     &ClosedLoopConfig::quick(),
+///     7,
+/// );
+/// assert_eq!(point.islands.len(), 4);
+/// assert!(point.aggregate.power_mw > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `loop_cfg` is invalid (zero intervals or period).
+pub fn run_operating_point_islands(
+    net: &NetworkConfig,
+    traffic: Box<dyn TrafficSpec>,
+    policy: PolicyKind,
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> IslandOperatingPointResult {
+    loop_cfg.validate();
+    let offered_load = traffic.offered_load();
+    let tech = FdsoiTech::new();
+    let power_model = RouterPowerModel::new();
+    let mut sim = NocSimulation::new(net.clone(), traffic, seed);
+    let region_map = net.region_map();
+    let island_of = region_map.assignments().to_vec();
+    let island_count = region_map.island_count();
+    let node_counts = region_map.node_counts().to_vec();
+    let mut controller = MultiIslandController::new(&policy, net);
+
+    // The control period is fixed in wall-clock time: `control_period_cycles`
+    // cycles of the fastest clock. Interval lengths are counted in base
+    // ticks, whose rate is the fastest island's current frequency.
+    let period_ps = loop_cfg.control_period_cycles as f64 * net.max_frequency().period().as_ps();
+    sim.set_noc_frequency(net.max_frequency());
+
+    // The whole vector is applied atomically: a per-island loop of
+    // `set_island_frequency` calls would pass through transient base rates
+    // and could spuriously reset an untouched island's clock divider.
+    let apply =
+        |sim: &mut NocSimulation, freqs: &[Hertz]| sim.set_island_frequencies(freqs);
+
+    // Warm-up plus adaptive settling, discarding measurements: run until
+    // every island's controller output is stable (checked over three
+    // consecutive intervals), so the measurement phase captures the steady
+    // state of all control loops.
+    let mut stable_checks = 0;
+    for interval in 0..(loop_cfg.warmup_intervals + loop_cfg.max_settle_intervals) {
+        if interval >= loop_cfg.warmup_intervals && stable_checks >= 3 {
+            break;
+        }
+        let cycles = interval_cycles(period_ps, sim.noc_frequency());
+        sim.run_cycles(cycles);
+        let _ = sim.take_window();
+        let windows = sim.take_island_windows();
+        sim.reset_activity();
+        let before: Vec<Hertz> = controller.frequencies().to_vec();
+        let next = controller.next_frequencies(&windows);
+        let worst_change = before
+            .iter()
+            .zip(next.iter())
+            .map(|(b, n)| (n.as_hz() - b.as_hz()).abs() / b.as_hz())
+            .fold(0.0, f64::max);
+        if worst_change <= loop_cfg.settle_tolerance {
+            stable_checks += 1;
+        } else {
+            stable_checks = 0;
+        }
+        let next = next.to_vec();
+        apply(&mut sim, &next);
+    }
+
+    // Measurement phase.
+    sim.reset_stats();
+    let mut residencies = vec![FrequencyResidency::new(); island_count];
+    let mut energy = EnergyBreakdown::default();
+    let mut freq_time_product = 0.0; // Hz · ps, node-weighted across islands
+    let mut vdd_time_product = 0.0; // V · ps, node-weighted across islands
+    let mut total_wall_ps = 0.0;
+    let mut flits_generated = 0u64;
+    let mut flits_ejected = 0u64;
+    let mut node_cycles = 0u64;
+    let mut noc_cycles = 0u64;
+    let mut island_rate_flits = vec![0u64; island_count];
+    let mut island_delay_ps = vec![0.0f64; island_count];
+    let mut island_packets = vec![0u64; island_count];
+    let mut island_cycles = vec![0u64; island_count];
+    let total_nodes = sim.node_count() as f64;
+
+    for _ in 0..loop_cfg.measure_intervals {
+        let cycles = interval_cycles(period_ps, sim.noc_frequency());
+        sim.run_cycles(cycles);
+        let window = sim.take_window();
+        let windows = sim.take_island_windows();
+        let activity = sim.take_activity();
+
+        for island in 0..island_count {
+            let f = controller.frequencies()[island];
+            let vdd = tech.vdd_for_frequency(f);
+            let e = power_model.island_energy(
+                &activity,
+                &island_of,
+                island as u32,
+                f,
+                vdd,
+                window.wall_time_ps,
+            );
+            residencies[island].record(f, vdd, window.wall_time_ps, e);
+            energy += e;
+            let weight = node_counts[island] as f64 / total_nodes;
+            freq_time_product += f.as_hz() * weight * window.wall_time_ps;
+            vdd_time_product += vdd.as_volts() * weight * window.wall_time_ps;
+            island_rate_flits[island] += windows[island].flits_generated;
+            island_delay_ps[island] += windows[island].delay_ps_sum;
+            island_packets[island] += windows[island].packets_ejected;
+            island_cycles[island] += windows[island].noc_cycles;
+        }
+
+        total_wall_ps += window.wall_time_ps;
+        flits_generated += window.flits_generated;
+        flits_ejected += window.flits_ejected;
+        node_cycles += window.node_cycles;
+        noc_cycles += window.noc_cycles;
+
+        let next = controller.next_frequencies(&windows).to_vec();
+        apply(&mut sim, &next);
+    }
+
+    let stats = sim.stats();
+    let measured_rate = if node_cycles > 0 {
+        flits_generated as f64 / (node_cycles as f64 * total_nodes)
+    } else {
+        0.0
+    };
+    let throughput = if noc_cycles > 0 {
+        flits_ejected as f64 / (noc_cycles as f64 * total_nodes)
+    } else {
+        0.0
+    };
+    let total_wall_ns = total_wall_ps / 1.0e3;
+
+    let aggregate = OperatingPointResult {
+        policy: policy.name().to_string(),
+        offered_load,
+        measured_rate,
+        avg_latency_cycles: stats.avg_latency_cycles().unwrap_or(0.0),
+        avg_delay_ns: stats.avg_delay_ns().unwrap_or(0.0),
+        max_delay_ns: stats.max_delay_ps / 1.0e3,
+        power_mw: if total_wall_ns > 0.0 { energy.total_pj() / total_wall_ns } else { 0.0 },
+        dynamic_power_mw: if total_wall_ns > 0.0 { energy.dynamic_pj / total_wall_ns } else { 0.0 },
+        static_power_mw: if total_wall_ns > 0.0 { energy.static_pj / total_wall_ns } else { 0.0 },
+        avg_frequency_ghz: if total_wall_ps > 0.0 {
+            freq_time_product / total_wall_ps / 1.0e9
+        } else {
+            0.0
+        },
+        avg_vdd: if total_wall_ps > 0.0 { vdd_time_product / total_wall_ps } else { 0.0 },
+        throughput,
+        packets_delivered: stats.packets,
+        measurement_wall_ns: total_wall_ns,
+    };
+
+    let islands = (0..island_count)
+        .map(|island| IslandSummary {
+            island,
+            nodes: node_counts[island],
+            residency: residencies[island].clone(),
+            measured_rate: if node_cycles > 0 {
+                island_rate_flits[island] as f64
+                    / (node_cycles as f64 * node_counts[island] as f64)
+            } else {
+                0.0
+            },
+            avg_delay_ns: if island_packets[island] > 0 {
+                island_delay_ps[island] / island_packets[island] as f64 / 1.0e3
+            } else {
+                0.0
+            },
+            domain_cycles: island_cycles[island],
+        })
+        .collect();
+
+    IslandOperatingPointResult { aggregate, islands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmsd::DmsdConfig;
+    use crate::rmsd::RmsdConfig;
+    use noc_sim::{RegionLayout, SyntheticTraffic, TrafficPattern};
+
+    fn quad_net() -> NetworkConfig {
+        NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .regions(RegionLayout::Quadrants)
+            .build()
+            .unwrap()
+    }
+
+    fn traffic(rate: f64) -> Box<dyn TrafficSpec> {
+        Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, rate, 5))
+    }
+
+    #[test]
+    fn controller_runs_one_policy_instance_per_island() {
+        let net = quad_net();
+        let mut c = MultiIslandController::new(
+            &PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3)),
+            &net,
+        );
+        assert_eq!(c.island_count(), 4);
+        assert!(c.frequencies().iter().all(|&f| f == net.max_frequency()));
+        // Feed island 2 a much higher rate than the others: only its
+        // controller should ask for a higher frequency.
+        let mut windows = vec![WindowMeasurement::default(); 4];
+        for (i, w) in windows.iter_mut().enumerate() {
+            w.noc_cycles = 1_000;
+            w.node_cycles = 1_000;
+            w.flits_generated = if i == 2 { 1_000 } else { 40 };
+        }
+        let freqs = c.next_frequencies(&windows).to_vec();
+        assert!(freqs[2] > freqs[0], "the loaded island must run faster");
+        assert_eq!(freqs[0], freqs[1]);
+        assert_eq!(freqs[0], freqs[3]);
+        c.reset(net.max_frequency());
+        assert!(c.frequencies().iter().all(|&f| f == net.max_frequency()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one window per island")]
+    fn controller_rejects_window_count_mismatch() {
+        let mut c = MultiIslandController::new(&PolicyKind::NoDvfs, &quad_net());
+        let _ = c.next_frequencies(&[WindowMeasurement::default()]);
+    }
+
+    #[test]
+    fn island_point_runs_end_to_end_with_rmsd() {
+        let p = run_operating_point_islands(
+            &quad_net(),
+            traffic(0.08),
+            PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+            &ClosedLoopConfig::quick(),
+            3,
+        );
+        assert_eq!(p.islands.len(), 4);
+        assert!(p.aggregate.power_mw > 0.0);
+        assert!(p.aggregate.packets_delivered > 0);
+        for s in &p.islands {
+            assert_eq!(s.nodes, 4);
+            assert!(s.residency.wall_ps > 0.0);
+            assert!(s.residency.avg_frequency_ghz() > 0.0);
+            assert!(s.domain_cycles > 0);
+        }
+        // Uniform light load: every island slows below the maximum.
+        assert!(p.aggregate.avg_frequency_ghz < 0.95);
+    }
+
+    #[test]
+    fn island_dmsd_point_stays_inside_the_frequency_range() {
+        let p = run_operating_point_islands(
+            &quad_net(),
+            traffic(0.1),
+            PolicyKind::Dmsd(DmsdConfig::with_target_ns(120.0)),
+            &ClosedLoopConfig::quick(),
+            5,
+        );
+        for s in &p.islands {
+            let f = s.residency.avg_frequency_ghz();
+            assert!((0.332..=1.001).contains(&f), "island {} at {f} GHz", s.island);
+        }
+        assert!(p.frequency_spread_ghz() >= 0.0);
+    }
+
+    #[test]
+    fn single_island_point_matches_the_global_loop_shape() {
+        let net = NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .build()
+            .unwrap();
+        let p = run_operating_point_islands(
+            &net,
+            traffic(0.1),
+            PolicyKind::NoDvfs,
+            &ClosedLoopConfig::quick(),
+            1,
+        );
+        assert_eq!(p.islands.len(), 1);
+        assert_eq!(p.frequency_spread_ghz(), 0.0);
+        assert!((p.aggregate.avg_frequency_ghz - 1.0).abs() < 1e-9);
+        assert!((p.islands[0].residency.avg_frequency_ghz() - 1.0).abs() < 1e-9);
+        // One island owns all packets: its delay is the network delay.
+        assert!((p.islands[0].avg_delay_ns - p.aggregate.avg_delay_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn island_points_are_reproducible() {
+        let net = quad_net();
+        let cfg = ClosedLoopConfig::quick();
+        let a = run_operating_point_islands(
+            &net,
+            traffic(0.1),
+            PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+            &cfg,
+            7,
+        );
+        let b = run_operating_point_islands(
+            &net,
+            traffic(0.1),
+            PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.35)),
+            &cfg,
+            7,
+        );
+        assert_eq!(a, b);
+    }
+}

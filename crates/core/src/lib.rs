@@ -57,6 +57,7 @@
 pub mod closed_loop;
 pub mod dmsd;
 pub mod experiments;
+pub mod island;
 pub mod parallel;
 pub mod pi;
 pub mod policy;
@@ -68,12 +69,16 @@ pub mod sweep;
 
 pub use closed_loop::{run_operating_point, ClosedLoopConfig, OperatingPointResult};
 pub use dmsd::{Dmsd, DmsdConfig};
+pub use island::{
+    run_operating_point_islands, IslandOperatingPointResult, IslandSummary, MultiIslandController,
+};
 pub use pi::PiController;
 pub use policy::{ControlMeasurement, DvfsPolicy, NoDvfs, PolicyKind};
 pub use rmsd::{Rmsd, RmsdConfig};
 pub use saturation::find_saturation_rate;
 pub use scenario::{
-    compare_policies_scenario, scenario_grid, sweep_scenario_grid, InjectionProcess, Scenario,
+    compare_policies_scenario, scenario_grid, scenario_grid_islands, sweep_scenario_grid,
+    sweep_scenario_islands, InjectionProcess, IslandSweepPoint, Scenario,
 };
 pub use summary::TradeOffSummary;
 pub use sweep::{PolicyCurve, SweepPoint};

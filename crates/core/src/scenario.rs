@@ -1,4 +1,4 @@
-//! Scenario grids: the topology × pattern × injection-process axis.
+//! Scenario grids: the topology × pattern × injection × island axis.
 //!
 //! The paper's figures fix one scenario family (2D mesh, Bernoulli
 //! injection, five patterns). This module widens the experiment space into a
@@ -9,6 +9,8 @@
 //!   bit-reverse extensions,
 //! * **injection process** — Bernoulli or two-state bursty
 //!   ([`InjectionProcess`]),
+//! * **island layout** — the named voltage-frequency island partitions
+//!   ([`RegionLayout`]: whole / rows / columns / quadrants),
 //!
 //! so that a DVFS-policy claim can be checked far beyond Fig. 2–4. Every
 //! scenario reuses the generic sweep machinery ([`crate::sweep`]), so the
@@ -16,12 +18,13 @@
 
 use crate::closed_loop::ClosedLoopConfig;
 use crate::experiments::{ExperimentQuality, PolicyComparison, PAPER_LAMBDA_MAX_MARGIN};
+use crate::island::{run_operating_point_islands, IslandOperatingPointResult};
 use crate::policy::PolicyKind;
 use crate::saturation::find_saturation_load;
-use crate::sweep::{load_grid, sweep_policies, sweep_policies_serial, PolicyCurve};
+use crate::sweep::{load_grid, sweep_policies, sweep_policies_serial, PolicyCurve, SweepPoint};
 use noc_sim::{
-    BurstyTraffic, ConfigError, NetworkConfig, SyntheticTraffic, TopologyKind, TrafficPattern,
-    TrafficSpec,
+    BurstyTraffic, ConfigError, NetworkConfig, RegionLayout, SyntheticTraffic, TopologyKind,
+    TrafficPattern, TrafficSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -56,7 +59,8 @@ impl InjectionProcess {
     }
 }
 
-/// One point of the scenario grid: topology, pattern and injection process.
+/// One point of the scenario grid: topology, pattern, injection process and
+/// voltage-frequency island layout.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Mesh or torus.
@@ -65,12 +69,22 @@ pub struct Scenario {
     pub pattern: TrafficPattern,
     /// Packet release process.
     pub injection: InjectionProcess,
+    /// Voltage-frequency island partition ([`RegionLayout::Whole`] — the
+    /// single-island global-DVFS setting — unless widened via
+    /// [`islands`](Scenario::islands)).
+    pub regions: RegionLayout,
 }
 
 impl Scenario {
-    /// A Bernoulli scenario (the paper's injection process).
+    /// A Bernoulli scenario (the paper's injection process) on a single
+    /// island.
     pub fn new(topology: TopologyKind, pattern: TrafficPattern) -> Self {
-        Scenario { topology, pattern, injection: InjectionProcess::Bernoulli }
+        Scenario {
+            topology,
+            pattern,
+            injection: InjectionProcess::Bernoulli,
+            regions: RegionLayout::Whole,
+        }
     }
 
     /// The same scenario with the default bursty injection process.
@@ -78,21 +92,34 @@ impl Scenario {
         Scenario { injection: InjectionProcess::default_bursty(), ..self }
     }
 
-    /// A `topology/pattern/process` label for figures and reports, e.g.
-    /// `"torus/hotspot/bursty"`.
-    pub fn label(&self) -> String {
-        format!("{}/{}/{}", self.topology.name(), self.pattern.name(), self.injection.name())
+    /// The same scenario partitioned into the given island layout.
+    pub fn islands(self, regions: RegionLayout) -> Self {
+        Scenario { regions, ..self }
     }
 
-    /// Rebuilds `base` with this scenario's topology (all other
-    /// micro-architectural parameters kept) and validates the pattern on it.
+    /// A `topology/pattern/process` label for figures and reports, e.g.
+    /// `"torus/hotspot/bursty"`; multi-island scenarios append the layout
+    /// (`"torus/hotspot/bursty/quadrants"`).
+    pub fn label(&self) -> String {
+        let base =
+            format!("{}/{}/{}", self.topology.name(), self.pattern.name(), self.injection.name());
+        if self.regions == RegionLayout::Whole {
+            base
+        } else {
+            format!("{base}/{}", self.regions.name())
+        }
+    }
+
+    /// Rebuilds `base` with this scenario's topology and island layout (all
+    /// other micro-architectural parameters kept) and validates the pattern
+    /// on it.
     ///
     /// # Errors
     ///
     /// Propagates [`ConfigError`]s: torus needing ≥2 VCs, transpose needing a
     /// square grid, bit permutations needing a power-of-two node count.
     pub fn network(&self, base: &NetworkConfig) -> Result<NetworkConfig, ConfigError> {
-        let net = base.to_builder().topology(self.topology).build()?;
+        let net = base.to_builder().topology(self.topology).regions(self.regions).build()?;
         net.validate_pattern(self.pattern)?;
         Ok(net)
     }
@@ -142,7 +169,8 @@ pub fn scenario_grid(base: &NetworkConfig, include_bursty: bool) -> Vec<Scenario
 /// [`compare_policies_synthetic`](crate::experiments::compare_policies_synthetic).
 ///
 /// The saturation point is searched with the scenario's own injection
-/// process, so bursty sweeps get a bursty-aware `λ_max`.
+/// process, so bursty sweeps get a bursty-aware `λ_max`. Multi-island
+/// scenarios sweep under per-island control (see [`sweep_scenario`]).
 ///
 /// # Errors
 ///
@@ -188,6 +216,16 @@ pub fn sweep_scenario_grid(
 
 /// Parallel multi-policy sweep of one scenario over explicit loads (used by
 /// the figure drivers above and directly by parity tests).
+///
+/// The island axis is honoured here: a multi-island scenario
+/// (`regions != Whole`) runs under **per-island control**
+/// ([`run_operating_point_islands`], one policy instance per island) and
+/// each curve point carries the aggregate operating point — so the same
+/// drivers ([`compare_policies_scenario`], [`sweep_scenario_grid`]) produce
+/// genuinely different numbers per layout instead of relabelled global-DVFS
+/// runs. Single-island scenarios take the historical global-DVFS path
+/// unchanged. For the per-island detail (residency, per-island rates) use
+/// [`sweep_scenario_islands`].
 pub fn sweep_scenario(
     net: &NetworkConfig,
     scenario: Scenario,
@@ -196,8 +234,14 @@ pub fn sweep_scenario(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
-    let factory = |load: f64| scenario.traffic(net, load);
-    sweep_policies(net, loads, &factory, policies, loop_cfg, seed)
+    if scenario.regions == RegionLayout::Whole {
+        let factory = |load: f64| scenario.traffic(net, load);
+        return sweep_policies(net, loads, &factory, policies, loop_cfg, seed);
+    }
+    aggregate_curves(
+        policies,
+        sweep_scenario_islands(net, scenario, loads, policies, loop_cfg, seed),
+    )
 }
 
 /// Serial reference implementation of [`sweep_scenario`] — bit-identical
@@ -210,8 +254,119 @@ pub fn sweep_scenario_serial(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
-    let factory = |load: f64| scenario.traffic(net, load);
-    sweep_policies_serial(net, loads, &factory, policies, loop_cfg, seed)
+    if scenario.regions == RegionLayout::Whole {
+        let factory = |load: f64| scenario.traffic(net, load);
+        return sweep_policies_serial(net, loads, &factory, policies, loop_cfg, seed);
+    }
+    aggregate_curves(
+        policies,
+        sweep_scenario_islands_serial(net, scenario, loads, policies, loop_cfg, seed),
+    )
+}
+
+/// Projects per-policy island sweeps onto labelled aggregate
+/// [`PolicyCurve`]s (each point keeps the network-level
+/// [`OperatingPointResult`](crate::OperatingPointResult), dropping the
+/// per-island detail).
+fn aggregate_curves(
+    policies: &[PolicyKind],
+    groups: Vec<Vec<IslandSweepPoint>>,
+) -> Vec<PolicyCurve> {
+    policies
+        .iter()
+        .zip(groups)
+        .map(|(p, points)| PolicyCurve {
+            policy: p.name().to_string(),
+            points: points
+                .into_iter()
+                .map(|point| SweepPoint { load: point.load, result: point.result.aggregate })
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`scenario_grid`] crossed with the given voltage-frequency island
+/// layouts: every valid `topology × pattern × injection` combination is
+/// instantiated once per layout in `layouts` (pass
+/// [`RegionLayout::ALL`] for the full axis). Layouts keep the grid's
+/// validity — islands partition nodes, never geometry — so no additional
+/// combinations are filtered.
+pub fn scenario_grid_islands(
+    base: &NetworkConfig,
+    include_bursty: bool,
+    layouts: &[RegionLayout],
+) -> Vec<Scenario> {
+    scenario_grid(base, include_bursty)
+        .into_iter()
+        .flat_map(|s| layouts.iter().map(move |&layout| s.islands(layout)))
+        .collect()
+}
+
+/// Parallel multi-policy, multi-load sweep of one scenario under
+/// **per-island DVFS control** ([`run_operating_point_islands`]): the
+/// island analogue of [`sweep_scenario`]. Returns, per policy, the
+/// `(load, aggregate + per-island)` results in load order.
+///
+/// Like every sweep, each operating point is an independent simulation with
+/// an explicit seed, so the output is bit-identical to
+/// [`sweep_scenario_islands_serial`].
+pub fn sweep_scenario_islands(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<Vec<IslandSweepPoint>> {
+    crate::sweep::sweep_policy_grid(loads, policies.len(), |pi, load| IslandSweepPoint {
+        load,
+        result: run_operating_point_islands(
+            net,
+            scenario.traffic(net, load),
+            policies[pi].clone(),
+            loop_cfg,
+            seed,
+        ),
+    })
+}
+
+/// Serial reference implementation of [`sweep_scenario_islands`] —
+/// bit-identical results, used by the parity tests.
+pub fn sweep_scenario_islands_serial(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<Vec<IslandSweepPoint>> {
+    policies
+        .iter()
+        .map(|policy| {
+            loads
+                .iter()
+                .map(|&load| IslandSweepPoint {
+                    load,
+                    result: run_operating_point_islands(
+                        net,
+                        scenario.traffic(net, load),
+                        policy.clone(),
+                        loop_cfg,
+                        seed,
+                    ),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One `(load, island-controlled result)` pair of an island sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IslandSweepPoint {
+    /// The injection-rate load parameter.
+    pub load: f64,
+    /// The aggregate + per-island operating point.
+    pub result: IslandOperatingPointResult,
 }
 
 #[cfg(test)]
@@ -305,6 +460,80 @@ mod tests {
             assert_eq!(curve.points.len(), q.load_points);
             for p in &curve.points {
                 assert!(p.result.packets_delivered > 0, "every point must deliver packets");
+            }
+        }
+    }
+
+    #[test]
+    fn island_labels_and_grid_compose() {
+        let s = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot)
+            .bursty()
+            .islands(RegionLayout::Quadrants);
+        assert_eq!(s.label(), "torus/hotspot/bursty/quadrants");
+        // Whole-island scenarios keep the historical three-part label.
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform);
+        assert_eq!(s.label(), "mesh/uniform/bernoulli");
+        let base = small_base();
+        let grid = scenario_grid_islands(&base, false, &RegionLayout::ALL);
+        assert_eq!(grid.len(), 4 * scenario_grid(&base, false).len());
+        let net = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .islands(RegionLayout::PerRow)
+            .network(&base)
+            .unwrap();
+        assert_eq!(net.region_map().island_count(), 4);
+    }
+
+    #[test]
+    fn multi_island_scenarios_run_per_island_control_through_the_standard_sweep() {
+        // Hotspot load is concentrated in one quadrant, so per-island RMSD
+        // must land on a different operating point than global RMSD: the
+        // quadrant layout's curve cannot be a relabelled copy of the whole-
+        // island curve. The aggregates must also match the dedicated
+        // island-sweep path bit for bit (same seeds, same loop).
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Mesh, TrafficPattern::Hotspot);
+        let quad = scenario.islands(RegionLayout::Quadrants);
+        let net_whole = scenario.network(&base).unwrap();
+        let net_quad = quad.network(&base).unwrap();
+        let loads = [0.1];
+        let policies = vec![PolicyKind::Rmsd(crate::rmsd::RmsdConfig::with_lambda_max(0.3))];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let whole_curves =
+            sweep_scenario(&net_whole, scenario, &loads, &policies, &loop_cfg, 2015);
+        let quad_curves = sweep_scenario(&net_quad, quad, &loads, &policies, &loop_cfg, 2015);
+        assert_ne!(
+            whole_curves[0].points[0].result, quad_curves[0].points[0].result,
+            "quadrant islands must not be a relabelled global-DVFS run"
+        );
+        let island_points =
+            sweep_scenario_islands(&net_quad, quad, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(quad_curves[0].points[0].result, island_points[0][0].result.aggregate);
+        // Serial parity holds on the island-dispatched path too.
+        let serial = sweep_scenario_serial(&net_quad, quad, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(quad_curves, serial);
+    }
+
+    #[test]
+    fn island_scenario_sweep_serial_parallel_parity() {
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Torus, TrafficPattern::Uniform)
+            .islands(RegionLayout::Quadrants);
+        let net = scenario.network(&base).unwrap();
+        let loads = [0.06, 0.12];
+        let policies =
+            vec![PolicyKind::NoDvfs, PolicyKind::Rmsd(crate::rmsd::RmsdConfig::with_lambda_max(0.3))];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let parallel =
+            sweep_scenario_islands(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        let serial =
+            sweep_scenario_islands_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), 2);
+        for curve in &parallel {
+            assert_eq!(curve.len(), 2);
+            for point in curve {
+                assert_eq!(point.result.islands.len(), 4);
+                assert!(point.result.aggregate.packets_delivered > 0);
             }
         }
     }

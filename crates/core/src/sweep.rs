@@ -99,6 +99,24 @@ pub fn sweep_policy(
     PolicyCurve { policy: policy.name().to_string(), points }
 }
 
+/// Flattens a `(policy × load)` grid into one parallel work list and
+/// regroups the results per policy (in policy-major, then load order) — the
+/// shared engine behind every parallel sweep ([`sweep_policies`], the
+/// scenario sweeps, and the per-island sweeps). `point` must be a pure
+/// function of its `(policy index, load)` arguments so the parallel
+/// execution stays bit-identical to a serial double loop.
+pub(crate) fn sweep_policy_grid<P: Send>(
+    loads: &[f64],
+    policy_count: usize,
+    point: impl Fn(usize, f64) -> P + Sync,
+) -> Vec<Vec<P>> {
+    let grid: Vec<(usize, f64)> = (0..policy_count)
+        .flat_map(|pi| loads.iter().map(move |&load| (pi, load)))
+        .collect();
+    let mut results = par_map(&grid, |_, &(pi, load)| point(pi, load)).into_iter();
+    (0..policy_count).map(|_| results.by_ref().take(loads.len()).collect()).collect()
+}
+
 /// Runs several policies over the same loads (the standard No-DVFS / RMSD /
 /// DMSD comparison of every figure).
 ///
@@ -115,12 +133,7 @@ pub fn sweep_policies(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
-    let grid: Vec<(usize, f64)> = policies
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, _)| loads.iter().map(move |&load| (pi, load)))
-        .collect();
-    let mut results = par_map(&grid, |_, &(pi, load)| SweepPoint {
+    let curves = sweep_policy_grid(loads, policies.len(), |pi, load| SweepPoint {
         load,
         result: run_operating_point(
             net,
@@ -129,14 +142,11 @@ pub fn sweep_policies(
             loop_cfg,
             seed,
         ),
-    })
-    .into_iter();
+    });
     policies
         .iter()
-        .map(|p| PolicyCurve {
-            policy: p.name().to_string(),
-            points: results.by_ref().take(loads.len()).collect(),
-        })
+        .zip(curves)
+        .map(|(p, points)| PolicyCurve { policy: p.name().to_string(), points })
         .collect()
 }
 

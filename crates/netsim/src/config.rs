@@ -6,6 +6,7 @@
 //! frequency range of the NoC clock and the fixed node-clock frequency.
 
 use crate::error::ConfigError;
+use crate::region::{RegionMap, RegionScheme};
 use crate::topology::{Topology, TopologyKind};
 use crate::traffic::{SyntheticTraffic, TrafficPattern};
 use crate::units::Hertz;
@@ -54,6 +55,7 @@ pub struct NetworkConfig {
     node_frequency_hz: f64,
     min_frequency_hz: f64,
     max_frequency_hz: f64,
+    regions: RegionScheme,
 }
 
 impl NetworkConfig {
@@ -150,6 +152,27 @@ impl NetworkConfig {
         Ok(SyntheticTraffic::new(pattern, injection_rate, self.packet_length))
     }
 
+    /// How the network is partitioned into voltage-frequency islands
+    /// (the default is one island spanning the whole NoC).
+    pub fn regions(&self) -> &RegionScheme {
+        &self.regions
+    }
+
+    /// The resolved `node → island` partition described by
+    /// [`regions`](Self::regions).
+    ///
+    /// # Panics
+    ///
+    /// [`NetworkConfigBuilder::build`] validates the scheme, so this cannot
+    /// fail for builder-made configurations. It panics only if a config was
+    /// materialized behind the builder's back (e.g. deserialized from an
+    /// untrusted source) with a custom map that skips validation.
+    pub fn region_map(&self) -> RegionMap {
+        self.regions
+            .build(self.width, self.height)
+            .expect("region scheme was validated by the config builder")
+    }
+
     /// A builder pre-loaded with this configuration's values (for deriving
     /// variants, e.g. the same micro-architecture on a different topology).
     pub fn to_builder(&self) -> NetworkConfigBuilder {
@@ -165,6 +188,7 @@ impl NetworkConfig {
             node_frequency_hz: self.node_frequency_hz,
             min_frequency_hz: self.min_frequency_hz,
             max_frequency_hz: self.max_frequency_hz,
+            regions: self.regions.clone(),
         }
     }
 
@@ -204,6 +228,7 @@ pub struct NetworkConfigBuilder {
     node_frequency_hz: f64,
     min_frequency_hz: f64,
     max_frequency_hz: f64,
+    regions: RegionScheme,
 }
 
 impl NetworkConfigBuilder {
@@ -221,6 +246,7 @@ impl NetworkConfigBuilder {
             node_frequency_hz: DEFAULT_NODE_FREQUENCY_HZ,
             min_frequency_hz: DEFAULT_MIN_FREQUENCY_HZ,
             max_frequency_hz: DEFAULT_MAX_FREQUENCY_HZ,
+            regions: RegionScheme::default(),
         }
     }
 
@@ -297,6 +323,17 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Partitions the network into voltage-frequency islands (default: one
+    /// island spanning the whole NoC, i.e. global DVFS).
+    ///
+    /// Accepts a named [`RegionLayout`](crate::RegionLayout) or a full
+    /// [`RegionScheme`] (for custom `node → island` maps); custom maps are
+    /// validated by [`build`](Self::build).
+    pub fn regions(mut self, regions: impl Into<RegionScheme>) -> Self {
+        self.regions = regions.into();
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     ///
     /// # Errors
@@ -328,6 +365,8 @@ impl NetworkConfigBuilder {
                 max_hz: self.max_frequency_hz,
             });
         }
+        // Resolve once to validate custom maps (length, contiguous ids).
+        self.regions.build(self.width, self.height)?;
         Ok(NetworkConfig {
             topology: self.topology,
             width: self.width,
@@ -340,6 +379,7 @@ impl NetworkConfigBuilder {
             node_frequency_hz: self.node_frequency_hz,
             min_frequency_hz: self.min_frequency_hz,
             max_frequency_hz: self.max_frequency_hz,
+            regions: self.regions,
         })
     }
 }
@@ -519,6 +559,44 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+    }
+
+    #[test]
+    fn regions_default_to_a_single_island_and_round_trip() {
+        use crate::region::{RegionLayout, RegionScheme};
+        let cfg = NetworkConfig::paper_baseline();
+        assert_eq!(cfg.regions(), &RegionScheme::Layout(RegionLayout::Whole));
+        assert_eq!(cfg.region_map().island_count(), 1);
+        let cfg = NetworkConfig::builder()
+            .mesh(4, 4)
+            .regions(RegionLayout::Quadrants)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.region_map().island_count(), 4);
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_custom_region_maps() {
+        use crate::region::RegionScheme;
+        let err = NetworkConfig::builder()
+            .mesh(2, 2)
+            .regions(RegionScheme::Custom(vec![0, 1, 2]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RegionMapWrongLength { expected: 4, got: 3 });
+        let err = NetworkConfig::builder()
+            .mesh(2, 2)
+            .regions(RegionScheme::Custom(vec![0, 0, 3, 3]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RegionIdsNotContiguous { island_count: 4, missing: 1 });
+        let ok = NetworkConfig::builder()
+            .mesh(2, 2)
+            .regions(RegionScheme::Custom(vec![1, 0, 1, 0]))
+            .build()
+            .unwrap();
+        assert_eq!(ok.region_map().island_count(), 2);
     }
 
     #[test]

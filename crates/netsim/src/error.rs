@@ -52,6 +52,22 @@ pub enum ConfigError {
         /// The requested node count.
         nodes: usize,
     },
+    /// A custom voltage-frequency island map must assign every node exactly
+    /// once.
+    RegionMapWrongLength {
+        /// Node count of the grid.
+        expected: usize,
+        /// Length of the supplied assignment vector.
+        got: usize,
+    },
+    /// Island ids of a custom region map must be contiguous from zero (every
+    /// id below the maximum assigned id must own at least one node).
+    RegionIdsNotContiguous {
+        /// Number of islands implied by the largest assigned id.
+        island_count: usize,
+        /// The smallest id that owns no node.
+        missing: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +96,15 @@ impl fmt::Display for ConfigError {
             ConfigError::PatternNeedsPowerOfTwoNodes { pattern, nodes } => write!(
                 f,
                 "traffic pattern '{pattern}' needs a power-of-two node count, got {nodes} nodes"
+            ),
+            ConfigError::RegionMapWrongLength { expected, got } => write!(
+                f,
+                "region map must assign all {expected} nodes, got {got} assignments"
+            ),
+            ConfigError::RegionIdsNotContiguous { island_count, missing } => write!(
+                f,
+                "region map island ids must be contiguous from 0: {island_count} islands \
+                 implied but island {missing} owns no node"
             ),
         }
     }

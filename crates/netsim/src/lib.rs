@@ -44,6 +44,7 @@
 //! | [`config`] | [`NetworkConfig`] and its builder | — |
 //! | [`flit`] | flits, packets and their identifiers | 40-byte `Copy` [`Flit`]; serde gated behind `flit-serde` |
 //! | [`topology`] | 2D mesh / torus geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
+//! | [`region`] | voltage-frequency island partitions ([`RegionMap`]) | resolved once; per-island node bitmasks gate the sparse worklists |
 //! | [`routing`] | dimension-ordered (XY/YX) routing, torus datelines | invoked once per head flit, not per flit |
 //! | [`buffer`] | per-VC FIFO buffers | capacity fixed at construction; never reallocates |
 //! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
@@ -110,6 +111,7 @@ pub mod config;
 pub mod error;
 pub mod flit;
 pub mod link;
+pub mod region;
 pub mod router;
 pub mod routing;
 pub mod sim;
@@ -125,6 +127,7 @@ pub use clock::DualClock;
 pub use config::{NetworkConfig, NetworkConfigBuilder};
 pub use error::ConfigError;
 pub use flit::{Flit, FlitKind, PacketId};
+pub use region::{RegionLayout, RegionMap, RegionScheme};
 pub use routing::{RoutingAlgorithm, XyRouting, YxRouting};
 pub use sim::{NocSimulation, WindowMeasurement};
 pub use stats::{PacketRecord, SimStats};

@@ -246,8 +246,8 @@ impl Router {
     /// Adds `cycles` elapsed cycles to the activity window.
     ///
     /// Standalone harnesses that drive the pipeline stages directly can use
-    /// this to keep the `cycles` field meaningful. [`NocSimulation`]
-    /// (crate::NocSimulation) does **not** call it per cycle any more: the
+    /// this to keep the `cycles` field meaningful.
+    /// [`NocSimulation`](crate::NocSimulation) does **not** call it per cycle any more: the
     /// sparse core skips quiescent routers entirely, so the driver accounts
     /// elapsed cycles centrally when an activity window is taken.
     pub fn add_cycles(&mut self, cycles: u64) {

@@ -147,7 +147,8 @@ impl Source {
     }
 
     /// Proposes at most one flit to inject this NoC cycle, given the credit
-    /// state of the injection channel. Call [`commit_injection`] if the offer
+    /// state of the injection channel. Call
+    /// [`commit_injection`](Self::commit_injection) if the offer
     /// is accepted. `Flit` is `Copy`, so the offer is a cheap stack value —
     /// the hot path uses [`try_inject`](Self::try_inject), which pops the
     /// queue directly instead of going through an offer.

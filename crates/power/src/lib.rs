@@ -52,5 +52,5 @@ pub mod report;
 pub mod tech;
 
 pub use model::{PowerParams, RouterPowerModel};
-pub use report::PowerReport;
+pub use report::{FrequencyResidency, PowerReport, ResidencyLevel, RESIDENCY_BIN_HZ};
 pub use tech::{FdsoiTech, OperatingPoint, Volts};

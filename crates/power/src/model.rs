@@ -213,6 +213,51 @@ impl RouterPowerModel {
             .fold(EnergyBreakdown::default(), |acc, e| acc + e)
     }
 
+    /// Energy consumed by the routers of **one voltage-frequency island**
+    /// over an interval during which that island ran at (`frequency`,
+    /// `vdd`).
+    ///
+    /// `island_of` assigns each router (by node id) to an island, exactly as
+    /// [`RegionMap::assignments`](noc_sim::RegionMap::assignments) reports
+    /// it; only the routers of `island` contribute. Idle routers take the
+    /// same fast path as [`network_energy`](Self::network_energy), each
+    /// router's contribution is the same `f64` either way, and routers are
+    /// folded in ascending node order — for the single-island partition the
+    /// result is therefore bit-identical to
+    /// [`network_energy`](Self::network_energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island_of` is shorter than the activity record.
+    pub fn island_energy(
+        &self,
+        activity: &NetworkActivity,
+        island_of: &[u32],
+        island: u32,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> EnergyBreakdown {
+        assert!(
+            island_of.len() >= activity.routers.len(),
+            "island assignment must cover every router"
+        );
+        let idle = self.router_energy(&RouterActivity::new(), frequency, vdd, duration_ps);
+        activity
+            .routers
+            .iter()
+            .zip(island_of.iter())
+            .filter(|(_, &i)| i == island)
+            .map(|(r, _)| {
+                if r.is_idle() {
+                    idle
+                } else {
+                    self.router_energy(r, frequency, vdd, duration_ps)
+                }
+            })
+            .fold(EnergyBreakdown::default(), |acc, e| acc + e)
+    }
+
     /// Average power of the whole NoC over an interval, with a per-router
     /// breakdown.
     pub fn network_power(
@@ -283,6 +328,43 @@ mod tests {
             .fold(EnergyBreakdown::default(), |acc, e| acc + e);
         assert_eq!(fast.dynamic_pj.to_bits(), naive.dynamic_pj.to_bits());
         assert_eq!(fast.static_pj.to_bits(), naive.static_pj.to_bits());
+    }
+
+    #[test]
+    fn island_energy_partitions_the_network_fold() {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let vdd = Volts::new(0.9);
+        let duration_ps = 1.0e6;
+        let mut net = NetworkActivity::new(6);
+        net.routers[1] = busy_activity(1_000, 200);
+        net.routers[4] = busy_activity(1_000, 900);
+        let island_of = [0u32, 0, 1, 1, 1, 0];
+        let a = model.island_energy(&net, &island_of, 0, f, vdd, duration_ps);
+        let b = model.island_energy(&net, &island_of, 1, f, vdd, duration_ps);
+        let whole = model.network_energy(&net, f, vdd, duration_ps);
+        // Same per-router f64 contributions, partitioned without overlap.
+        assert!((a.total_pj() + b.total_pj() - whole.total_pj()).abs() < 1e-9);
+        assert!(b.dynamic_pj > a.dynamic_pj, "island 1 holds the busiest router");
+        // The single-island partition is bit-identical to the network fold.
+        let single = model.island_energy(&net, &[0; 6], 0, f, vdd, duration_ps);
+        assert_eq!(single.dynamic_pj.to_bits(), whole.dynamic_pj.to_bits());
+        assert_eq!(single.static_pj.to_bits(), whole.static_pj.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every router")]
+    fn island_energy_rejects_short_assignments() {
+        let model = RouterPowerModel::new();
+        let net = NetworkActivity::new(4);
+        let _ = model.island_energy(
+            &net,
+            &[0, 0],
+            0,
+            Hertz::from_ghz(1.0),
+            Volts::new(0.9),
+            1.0e6,
+        );
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Power reports.
+//! Power reports and frequency/voltage residency accounting.
 
+use crate::model::EnergyBreakdown;
+use crate::tech::Volts;
+use noc_sim::Hertz;
 use serde::{Deserialize, Serialize};
 
 /// Power consumed by the NoC over one observation interval, broken down per
@@ -40,6 +43,136 @@ impl PowerReport {
     }
 }
 
+/// Width of a residency-histogram frequency bin, hertz (10 MHz).
+///
+/// Discrete-level policies (No-DVFS, quantized actuators) land each level in
+/// its own bin exactly; continuous-output policies (the DMSD PI loop emits a
+/// slightly different frequency every interval) coalesce into a bounded
+/// histogram instead of one "level" per control update.
+pub const RESIDENCY_BIN_HZ: f64 = 1.0e7;
+
+/// Wall-clock time spent at one `(frequency, Vdd)` operating level — a
+/// [`RESIDENCY_BIN_HZ`]-wide frequency bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyLevel {
+    /// Representative clock frequency of the level (the first frequency
+    /// recorded into the bin), hertz.
+    pub frequency_hz: f64,
+    /// Time-weighted mean supply voltage over the level's intervals, volts.
+    pub vdd: f64,
+    /// Wall-clock time spent at the level, picoseconds.
+    pub wall_ps: f64,
+}
+
+/// Time-weighted frequency/voltage residency of one clock domain (a
+/// voltage-frequency island, or the whole NoC under global DVFS).
+///
+/// A DVFS control loop [`record`](Self::record)s every interval it spent at
+/// an operating level; the accumulator tracks the time-weighted averages and
+/// the per-level residency histogram, plus the energy attributed to the
+/// domain over those intervals. This is the "frequency residency" a power
+/// report shows per island.
+///
+/// ```
+/// use noc_power::{report::FrequencyResidency, tech::Volts, model::EnergyBreakdown};
+/// use noc_sim::Hertz;
+///
+/// let mut r = FrequencyResidency::new();
+/// r.record(Hertz::from_ghz(1.0), Volts::new(0.9), 3.0e6, EnergyBreakdown::default());
+/// r.record(Hertz::from_mhz(500.0), Volts::new(0.7), 1.0e6, EnergyBreakdown::default());
+/// assert!((r.avg_frequency_ghz() - 0.875).abs() < 1e-12);
+/// assert_eq!(r.levels().len(), 2);
+/// assert!((r.share_at(Hertz::from_ghz(1.0)) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyResidency {
+    /// Total recorded wall-clock time, picoseconds.
+    pub wall_ps: f64,
+    /// `Σ frequency · interval` in Hz·ps (time-weighted frequency numerator).
+    pub freq_time_hz_ps: f64,
+    /// `Σ Vdd · interval` in V·ps (time-weighted voltage numerator).
+    pub vdd_time_v_ps: f64,
+    /// Energy attributed to the domain over the recorded intervals.
+    pub energy: EnergyBreakdown,
+    /// Distinct operating levels visited, in first-visit order.
+    levels: Vec<ResidencyLevel>,
+}
+
+impl FrequencyResidency {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrequencyResidency::default()
+    }
+
+    /// Adds one control interval spent at `(frequency, vdd)` for
+    /// `duration_ps` picoseconds, during which the domain consumed `energy`.
+    ///
+    /// Levels are matched by [`RESIDENCY_BIN_HZ`]-wide frequency bins; the
+    /// time-weighted averages ([`avg_frequency_ghz`](Self::avg_frequency_ghz)
+    /// etc.) are exact regardless of the binning.
+    pub fn record(&mut self, frequency: Hertz, vdd: Volts, duration_ps: f64, energy: EnergyBreakdown) {
+        self.wall_ps += duration_ps;
+        self.freq_time_hz_ps += frequency.as_hz() * duration_ps;
+        self.vdd_time_v_ps += vdd.as_volts() * duration_ps;
+        self.energy += energy;
+        let bin = residency_bin(frequency.as_hz());
+        match self.levels.iter_mut().find(|l| residency_bin(l.frequency_hz) == bin) {
+            Some(level) => {
+                let total = level.wall_ps + duration_ps;
+                if total > 0.0 {
+                    level.vdd =
+                        (level.vdd * level.wall_ps + vdd.as_volts() * duration_ps) / total;
+                }
+                level.wall_ps = total;
+            }
+            None => self.levels.push(ResidencyLevel {
+                frequency_hz: frequency.as_hz(),
+                vdd: vdd.as_volts(),
+                wall_ps: duration_ps,
+            }),
+        }
+    }
+
+    /// Time-weighted average frequency in gigahertz (0 if nothing recorded).
+    pub fn avg_frequency_ghz(&self) -> f64 {
+        if self.wall_ps > 0.0 { self.freq_time_hz_ps / self.wall_ps / 1.0e9 } else { 0.0 }
+    }
+
+    /// Time-weighted average supply voltage in volts (0 if nothing recorded).
+    pub fn avg_vdd(&self) -> f64 {
+        if self.wall_ps > 0.0 { self.vdd_time_v_ps / self.wall_ps } else { 0.0 }
+    }
+
+    /// Average power over the recorded intervals, milliwatts.
+    pub fn avg_power_mw(&self) -> f64 {
+        if self.wall_ps > 0.0 { self.energy.total_pj() / (self.wall_ps / 1.0e3) } else { 0.0 }
+    }
+
+    /// The distinct operating levels visited ([`RESIDENCY_BIN_HZ`]-wide
+    /// bins), in first-visit order.
+    pub fn levels(&self) -> &[ResidencyLevel] {
+        &self.levels
+    }
+
+    /// Fraction of the recorded time spent in `frequency`'s residency bin
+    /// (0 if the bin was never visited or nothing was recorded).
+    pub fn share_at(&self, frequency: Hertz) -> f64 {
+        if self.wall_ps <= 0.0 {
+            return 0.0;
+        }
+        let bin = residency_bin(frequency.as_hz());
+        self.levels
+            .iter()
+            .find(|l| residency_bin(l.frequency_hz) == bin)
+            .map_or(0.0, |l| l.wall_ps / self.wall_ps)
+    }
+}
+
+/// The residency-histogram bin index of a frequency.
+fn residency_bin(frequency_hz: f64) -> i64 {
+    (frequency_hz / RESIDENCY_BIN_HZ).round() as i64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +195,51 @@ mod tests {
         assert_eq!(r.total_mw(), 0.0);
         assert_eq!(r.peak_router_mw(), 0.0);
         assert_eq!(r.mean_router_mw(), 0.0);
+    }
+
+    #[test]
+    fn residency_tracks_time_weighted_averages_and_levels() {
+        let mut r = FrequencyResidency::new();
+        assert_eq!(r.avg_frequency_ghz(), 0.0);
+        assert_eq!(r.avg_vdd(), 0.0);
+        assert_eq!(r.avg_power_mw(), 0.0);
+        let e = EnergyBreakdown { dynamic_pj: 100.0, static_pj: 50.0 };
+        r.record(Hertz::from_ghz(1.0), Volts::new(0.9), 1.0e6, e);
+        r.record(Hertz::from_ghz(1.0), Volts::new(0.9), 1.0e6, e);
+        r.record(Hertz::from_mhz(500.0), Volts::new(0.7), 2.0e6, e);
+        // 2 ns at 1 GHz + 2 ns at 0.5 GHz → 0.75 GHz average.
+        assert!((r.avg_frequency_ghz() - 0.75).abs() < 1e-12);
+        assert!((r.avg_vdd() - 0.8).abs() < 1e-12);
+        // Repeated levels merge; order is first-visit.
+        assert_eq!(r.levels().len(), 2);
+        assert!((r.share_at(Hertz::from_ghz(1.0)) - 0.5).abs() < 1e-12);
+        assert!((r.share_at(Hertz::from_mhz(500.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.share_at(Hertz::from_mhz(333.0)), 0.0);
+        // 450 pJ over 4000 ns = 0.1125 mW.
+        assert!((r.avg_power_mw() - 0.1125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_bins_coalesce_continuous_controller_outputs() {
+        // A PI controller emits a slightly different frequency every
+        // interval; outputs within one 10 MHz bin must merge into a single
+        // level (with a time-weighted vdd), while a clearly different
+        // frequency opens a new one.
+        let mut r = FrequencyResidency::new();
+        let e = EnergyBreakdown::default();
+        r.record(Hertz::new(600.0e6), Volts::new(0.70), 1.0e6, e);
+        r.record(Hertz::new(602.0e6), Volts::new(0.72), 1.0e6, e);
+        r.record(Hertz::new(598.5e6), Volts::new(0.70), 2.0e6, e);
+        r.record(Hertz::new(612.0e6), Volts::new(0.74), 1.0e6, e);
+        assert_eq!(r.levels().len(), 2, "600/602/598.5 MHz share a bin; 612 MHz does not");
+        assert!((r.share_at(Hertz::new(601.0e6)) - 0.8).abs() < 1e-12);
+        assert!((r.share_at(Hertz::new(612.0e6)) - 0.2).abs() < 1e-12);
+        // Level vdd is the time-weighted mean of its merged intervals.
+        let level = r.levels()[0];
+        assert_eq!(level.frequency_hz, 600.0e6, "representative is first-seen");
+        assert!((level.vdd - (0.70 + 0.72 + 2.0 * 0.70) / 4.0).abs() < 1e-12);
+        // The exact time-weighted aggregate is unaffected by binning.
+        let exact = (600.0e6 + 602.0e6 + 2.0 * 598.5e6 + 612.0e6) / 5.0 / 1.0e9;
+        assert!((r.avg_frequency_ghz() - exact).abs() < 1e-12);
     }
 }

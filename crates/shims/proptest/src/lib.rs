@@ -2,7 +2,8 @@
 //!
 //! Provides deterministic random-sampling property tests: every `#[test]`
 //! inside [`proptest!`] runs `ProptestConfig::cases` iterations with inputs
-//! drawn from [`Strategy`] values seeded per case index. No shrinking is
+//! drawn from [`Strategy`](strategy::Strategy) values seeded per case
+//! index. No shrinking is
 //! performed — a failing case panics with the sampled inputs visible in the
 //! assertion message, which is enough for a fixed deterministic corpus.
 
