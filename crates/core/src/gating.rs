@@ -1,0 +1,559 @@
+//! Power-gating policies and combined DVFS + gating control.
+//!
+//! DVFS (the paper's contribution) scales dynamic power with load; power
+//! gating attacks the remaining leakage and clock-tree power of routers that
+//! are *idle*. This module closes the loop at the same per-island
+//! granularity the DVFS controllers use:
+//!
+//! * [`GatingPolicyKind`] — how aggressively to sleep: [`ImmediateSleep`]
+//!   (threshold 0), [`IdleThreshold(N)`] (fixed), or [`BreakEvenAware`] —
+//!   sleep only when the predicted idle period exceeds the energy
+//!   break-even time of a sleep/wake transition pair, using the same
+//!   windowed measurements the DVFS policies consume;
+//! * [`CombinedController`] — one DVFS policy instance *and* one gating
+//!   decision per voltage-frequency island, advanced together from the
+//!   per-island measurement windows;
+//! * [`run_operating_point_gated`] — the closed loop: co-simulates the
+//!   network (with its sleep state machines), the combined controller and
+//!   the power model, and reports the aggregate operating point, the
+//!   per-island summaries and the full
+//!   [`GatingResidency`] (time gated, wake
+//!   events, energy saved vs. transition cost).
+//!
+//! [`ImmediateSleep`]: GatingPolicyKind::ImmediateSleep
+//! [`IdleThreshold(N)`]: GatingPolicyKind::IdleThreshold
+//! [`BreakEvenAware`]: GatingPolicyKind::BreakEvenAware
+
+use crate::closed_loop::ClosedLoopConfig;
+use crate::island::{run_islands_loop, IslandSummary, MultiIslandController};
+use crate::policy::PolicyKind;
+use noc_power::{FdsoiTech, GatingResidency, RouterPowerModel, Volts};
+use crate::closed_loop::OperatingPointResult;
+use noc_sim::{GatingConfig, Hertz, NetworkConfig, TrafficSpec, WindowMeasurement, GATE_NEVER};
+use serde::{Deserialize, Serialize};
+
+/// Wakeup latency assumed when a gated run enables gating on a network whose
+/// configuration left it off, in domain cycles. Real sleep-transistor
+/// networks wake in a handful of cycles; 8 is a conservative mid-range
+/// value.
+pub const DEFAULT_WAKEUP_LATENCY: u64 = 8;
+
+/// Parameters of the break-even-aware gating policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakEvenConfig {
+    /// Safety margin: the predicted idle period must exceed
+    /// `margin × break-even time` before the island's routers are allowed
+    /// to sleep. 1.0 gates exactly at break-even; the default 2.0 absorbs
+    /// prediction error on bursty traffic.
+    pub margin: f64,
+}
+
+impl BreakEvenConfig {
+    /// The default margin (2×).
+    pub fn new() -> Self {
+        BreakEvenConfig { margin: 2.0 }
+    }
+
+    /// A caller-chosen margin.
+    pub fn with_margin(margin: f64) -> Self {
+        BreakEvenConfig { margin }
+    }
+}
+
+impl Default for BreakEvenConfig {
+    fn default() -> Self {
+        BreakEvenConfig::new()
+    }
+}
+
+/// A value-level description of which gating policy to run (the gating
+/// analogue of [`PolicyKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GatingPolicyKind {
+    /// Sleep as soon as a router drains (idle threshold 0). Maximum gated
+    /// residency, but thrashes below break-even under sparse traffic.
+    ImmediateSleep,
+    /// Sleep after a fixed number of idle domain cycles.
+    IdleThreshold(u64),
+    /// Sleep only when the predicted idle period exceeds the energy
+    /// break-even time at the island's current operating point; the idle
+    /// threshold is then set to the break-even time itself (the classic
+    /// timeout policy, 2-competitive with the offline optimum).
+    BreakEvenAware(BreakEvenConfig),
+}
+
+impl GatingPolicyKind {
+    /// A short lowercase name for labels (e.g. `"break-even"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GatingPolicyKind::ImmediateSleep => "imm-sleep",
+            GatingPolicyKind::IdleThreshold(_) => "idle-thresh",
+            GatingPolicyKind::BreakEvenAware(_) => "break-even",
+        }
+    }
+
+    /// The idle threshold to configure before any measurement exists
+    /// (applied at the maximum frequency, where the loop starts).
+    pub fn initial_threshold(&self, model: &RouterPowerModel, tech: &FdsoiTech, net: &NetworkConfig) -> u64 {
+        match self {
+            GatingPolicyKind::ImmediateSleep => 0,
+            GatingPolicyKind::IdleThreshold(n) => *n,
+            GatingPolicyKind::BreakEvenAware(_) => {
+                let f = net.max_frequency();
+                break_even_cycles(model, tech, f).ceil() as u64
+            }
+        }
+    }
+
+    /// The idle threshold for the next control interval, given one island's
+    /// measurement `window`, its `node_count`, and the break-even time (in
+    /// the island's domain cycles) at the frequency the island is about to
+    /// run at. Returns [`GATE_NEVER`] when the island should not sleep.
+    pub fn next_threshold(
+        &self,
+        window: &WindowMeasurement,
+        node_count: usize,
+        break_even_cycles: f64,
+    ) -> u64 {
+        match self {
+            GatingPolicyKind::ImmediateSleep => 0,
+            GatingPolicyKind::IdleThreshold(n) => *n,
+            GatingPolicyKind::BreakEvenAware(cfg) => {
+                // Idle-period prediction from the same windowed measurements
+                // the DVFS policies consume: traffic arrives as L-flit
+                // packets (L read off the window's ejection counters), so at
+                // a node-level utilisation λ (flits per NoC cycle per node)
+                // the expected idle gap between packet bursts is
+                // ≈ L·(1 − λ)/λ cycles. Gate only when that prediction
+                // clears the break-even bar with margin.
+                let lambda = window.noc_injection_rate(node_count);
+                let avg_packet_flits = if window.packets_ejected > 0 {
+                    window.flits_ejected as f64 / window.packets_ejected as f64
+                } else {
+                    1.0
+                };
+                let predicted_idle = if lambda <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    avg_packet_flits * (1.0 - lambda).max(0.0) / lambda
+                };
+                if predicted_idle >= cfg.margin * break_even_cycles {
+                    break_even_cycles.ceil().max(1.0) as u64
+                } else {
+                    GATE_NEVER
+                }
+            }
+        }
+    }
+}
+
+/// The break-even time at frequency `f` expressed in that clock's cycles.
+pub(crate) fn break_even_cycles(model: &RouterPowerModel, tech: &FdsoiTech, f: Hertz) -> f64 {
+    let vdd = tech.vdd_for_frequency(f);
+    model.break_even_ps(f, vdd) / f.period().as_ps()
+}
+
+/// The gating half of a combined control update — **the** single
+/// implementation of the threshold rule, shared by [`CombinedController`]
+/// and [`run_operating_point_gated`]: one idle threshold per island,
+/// evaluated with the break-even time at the frequency that island is
+/// *about to run at*.
+fn next_thresholds_into(
+    gating: &GatingPolicyKind,
+    model: &RouterPowerModel,
+    tech: &FdsoiTech,
+    windows: &[WindowMeasurement],
+    node_counts: &[usize],
+    frequencies: &[Hertz],
+    thresholds: &mut [u64],
+) {
+    for (island, window) in windows.iter().enumerate() {
+        let be = break_even_cycles(model, tech, frequencies[island]);
+        thresholds[island] = gating.next_threshold(window, node_counts[island], be);
+    }
+}
+
+/// One DVFS policy instance **and** one gating decision per
+/// voltage-frequency island, advanced together: the combined controller of
+/// the issue's control stack. Each control update consumes the per-island
+/// measurement windows once and produces the frequency vector (via
+/// [`MultiIslandController`]) plus the idle-threshold vector (via
+/// [`GatingPolicyKind::next_threshold`] at each island's *new* operating
+/// point, so the break-even bar always matches the frequency about to run).
+#[derive(Debug)]
+pub struct CombinedController {
+    dvfs: MultiIslandController,
+    gating: GatingPolicyKind,
+    thresholds: Vec<u64>,
+    node_counts: Vec<usize>,
+    model: RouterPowerModel,
+    tech: FdsoiTech,
+}
+
+impl CombinedController {
+    /// Builds the combined controller for `net`'s island partition.
+    pub fn new(policy: &PolicyKind, gating: GatingPolicyKind, net: &NetworkConfig) -> Self {
+        let model = RouterPowerModel::new();
+        let tech = FdsoiTech::new();
+        let node_counts = net.region_map().node_counts().to_vec();
+        let initial = gating.initial_threshold(&model, &tech, net);
+        CombinedController {
+            dvfs: MultiIslandController::new(policy, net),
+            gating,
+            thresholds: vec![initial; node_counts.len()],
+            node_counts,
+            model,
+            tech,
+        }
+    }
+
+    /// Number of islands under control.
+    pub fn island_count(&self) -> usize {
+        self.node_counts.len()
+    }
+
+    /// The most recently chosen frequency per island.
+    pub fn frequencies(&self) -> &[Hertz] {
+        self.dvfs.frequencies()
+    }
+
+    /// The most recently chosen idle threshold per island
+    /// ([`GATE_NEVER`] = the island must not initiate power-downs).
+    pub fn thresholds(&self) -> &[u64] {
+        &self.thresholds
+    }
+
+    /// Advances both control axes from the per-island windows and returns
+    /// `(frequencies, idle thresholds)` for the next interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` does not hold one window per island.
+    pub fn next_controls(&mut self, windows: &[WindowMeasurement]) -> (&[Hertz], &[u64]) {
+        let freqs = self.dvfs.next_frequencies(windows).to_vec();
+        next_thresholds_into(
+            &self.gating,
+            &self.model,
+            &self.tech,
+            windows,
+            &self.node_counts,
+            &freqs,
+            &mut self.thresholds,
+        );
+        (self.dvfs.frequencies(), &self.thresholds)
+    }
+
+    /// Clears the DVFS state and restores every island to `initial`
+    /// frequency; thresholds fall back to the gating policy's initial value.
+    pub fn reset(&mut self, initial: Hertz, net: &NetworkConfig) {
+        self.dvfs.reset(initial);
+        let t = self.gating.initial_threshold(&self.model, &self.tech, net);
+        self.thresholds.fill(t);
+    }
+}
+
+/// Aggregate + per-island + gating-residency result of one gated operating
+/// point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatedOperatingPointResult {
+    /// The network-level operating point (the shape every sweep consumes).
+    pub aggregate: OperatingPointResult,
+    /// Per-island DVFS measurements, indexed by island id.
+    pub islands: Vec<IslandSummary>,
+    /// Per-router + per-island gating residency over the measurement phase.
+    pub gating: GatingResidency,
+}
+
+impl GatedOperatingPointResult {
+    /// Fraction of router-cycles spent gated over the measurement phase.
+    pub fn gated_fraction(&self) -> f64 {
+        self.gating.total().gated_fraction()
+    }
+}
+
+/// Runs one closed-loop operating point under **combined per-island DVFS and
+/// power-gating control**: the gated analogue of
+/// [`run_operating_point_islands`](crate::run_operating_point_islands).
+///
+/// If `net` does not already enable gating, it is enabled with the policy's
+/// initial idle threshold and [`DEFAULT_WAKEUP_LATENCY`]; a network that
+/// configures its own [`GatingConfig`] (custom wakeup latency, per-island
+/// overrides) is used as-is. Each control interval re-tunes every island's
+/// frequency *and* idle threshold; the measurement phase accumulates the
+/// [`GatingResidency`] alongside the usual power/delay bookkeeping.
+///
+/// ```
+/// use noc_dvfs::{run_operating_point_gated, ClosedLoopConfig, GatingPolicyKind, PolicyKind};
+/// use noc_sim::{NetworkConfig, SyntheticTraffic, TrafficPattern};
+///
+/// let net = NetworkConfig::builder()
+///     .mesh(4, 4)
+///     .virtual_channels(2)
+///     .buffer_depth(4)
+///     .packet_length(5)
+///     .build()
+///     .unwrap();
+/// let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.03, 5);
+/// let point = run_operating_point_gated(
+///     &net,
+///     Box::new(traffic),
+///     PolicyKind::NoDvfs,
+///     GatingPolicyKind::BreakEvenAware(Default::default()),
+///     &ClosedLoopConfig::quick(),
+///     7,
+/// );
+/// // Light load: routers spend real time asleep and the books balance.
+/// assert!(point.gated_fraction() > 0.0);
+/// assert!(point.aggregate.packets_delivered > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `loop_cfg` is invalid (zero intervals or period).
+pub fn run_operating_point_gated(
+    net: &NetworkConfig,
+    traffic: Box<dyn TrafficSpec>,
+    policy: PolicyKind,
+    gating: GatingPolicyKind,
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> GatedOperatingPointResult {
+    let model = RouterPowerModel::new();
+    let tech = FdsoiTech::new();
+    let initial_threshold = gating.initial_threshold(&model, &tech, net);
+    let net = if net.gating().is_enabled() {
+        net.clone()
+    } else {
+        net.to_builder()
+            .gating(GatingConfig::enabled(initial_threshold, DEFAULT_WAKEUP_LATENCY))
+            .build()
+            .expect("enabling gating preserves config validity")
+    };
+    let region_map = net.region_map();
+    let island_of = region_map.assignments().to_vec();
+    let node_counts = region_map.node_counts().to_vec();
+    let mut residency = GatingResidency::new(island_of);
+    let gating_kind = gating;
+
+    let result = run_islands_loop(
+        &net,
+        traffic,
+        policy,
+        loop_cfg,
+        seed,
+        |sim, freqs, windows| {
+            let mut thresholds = vec![0u64; freqs.len()];
+            next_thresholds_into(
+                &gating_kind,
+                &model,
+                &tech,
+                windows,
+                &node_counts,
+                freqs,
+                &mut thresholds,
+            );
+            for (island, &threshold) in thresholds.iter().enumerate() {
+                sim.set_island_idle_threshold(island, threshold);
+            }
+        },
+        |activity, freqs, wall_ps| {
+            let levels: Vec<(Hertz, Volts)> =
+                freqs.iter().map(|&f| (f, tech.vdd_for_frequency(f))).collect();
+            residency.record(&model, activity, &levels, wall_ps);
+        },
+    );
+
+    GatedOperatingPointResult {
+        aggregate: result.aggregate,
+        islands: result.islands,
+        gating: residency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmsd::RmsdConfig;
+    use noc_sim::{RegionLayout, SyntheticTraffic, TrafficPattern};
+
+    fn small_net() -> NetworkConfig {
+        NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .build()
+            .unwrap()
+    }
+
+    fn traffic(rate: f64) -> Box<dyn TrafficSpec> {
+        Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, rate, 5))
+    }
+
+    fn window(rate: f64, cycles: u64, nodes: usize) -> WindowMeasurement {
+        let flits = (rate * cycles as f64 * nodes as f64) as u64;
+        WindowMeasurement {
+            noc_cycles: cycles,
+            node_cycles: cycles,
+            flits_generated: flits,
+            flits_injected: flits,
+            ..WindowMeasurement::default()
+        }
+    }
+
+    #[test]
+    fn policy_kinds_produce_their_thresholds() {
+        let w = window(0.01, 10_000, 16);
+        assert_eq!(GatingPolicyKind::ImmediateSleep.next_threshold(&w, 16, 30.0), 0);
+        assert_eq!(GatingPolicyKind::IdleThreshold(64).next_threshold(&w, 16, 30.0), 64);
+        // λ = 0.01 → predicted idle ≈ 99 cycles ≥ 2×30: gate at break-even.
+        let be = GatingPolicyKind::BreakEvenAware(BreakEvenConfig::new());
+        assert_eq!(be.next_threshold(&w, 16, 30.0), 30);
+        // λ = 0.2 → predicted idle 4 cycles < 60: do not gate.
+        let busy = window(0.2, 10_000, 16);
+        assert_eq!(be.next_threshold(&busy, 16, 30.0), GATE_NEVER);
+        // A silent island always gates.
+        let silent = window(0.0, 10_000, 16);
+        assert_eq!(be.next_threshold(&silent, 16, 30.0), 30);
+    }
+
+    #[test]
+    fn combined_controller_drives_both_axes_per_island() {
+        let net = NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .regions(RegionLayout::Quadrants)
+            .build()
+            .unwrap();
+        let mut c = CombinedController::new(
+            &PolicyKind::Rmsd(RmsdConfig::with_lambda_max(0.3)),
+            GatingPolicyKind::BreakEvenAware(BreakEvenConfig::new()),
+            &net,
+        );
+        assert_eq!(c.island_count(), 4);
+        // Island 2 busy, the rest silent: island 2 must run faster and must
+        // not gate, the silent islands slow down and gate.
+        let windows = [
+            window(0.0, 1_000, 4),
+            window(0.0, 1_000, 4),
+            window(0.5, 1_000, 4),
+            window(0.0, 1_000, 4),
+        ];
+        let (freqs, thresholds) = c.next_controls(&windows);
+        assert!(freqs[2] > freqs[0], "the loaded island runs faster");
+        assert_eq!(thresholds[2], GATE_NEVER, "a busy island must not sleep");
+        assert_ne!(thresholds[0], GATE_NEVER, "a silent island sleeps");
+        assert!(thresholds[0] >= 1);
+        c.reset(net.max_frequency(), &net);
+        assert!(c.frequencies().iter().all(|&f| f == net.max_frequency()));
+    }
+
+    #[test]
+    fn gated_points_are_reproducible_and_account_residency() {
+        let net = small_net();
+        let cfg = ClosedLoopConfig::quick();
+        let a = run_operating_point_gated(
+            &net,
+            traffic(0.02),
+            PolicyKind::NoDvfs,
+            GatingPolicyKind::IdleThreshold(16),
+            &cfg,
+            11,
+        );
+        let b = run_operating_point_gated(
+            &net,
+            traffic(0.02),
+            PolicyKind::NoDvfs,
+            GatingPolicyKind::IdleThreshold(16),
+            &cfg,
+            11,
+        );
+        assert_eq!(a, b);
+        assert!(a.gated_fraction() > 0.0, "a 2% load leaves routers asleep most of the time");
+        let total = a.gating.total();
+        assert!(total.sleep_events > 0 && total.wake_events > 0);
+        assert!(total.saved_pj > 0.0);
+        assert_eq!(a.gating.islands().len(), 1);
+        assert!(a.aggregate.packets_delivered > 0);
+    }
+
+    #[test]
+    fn break_even_gating_saves_energy_at_light_load() {
+        // The acceptance setting of the issue, at test scale: light-load
+        // mesh, BreakEvenAware gating vs the ungated baseline — strictly
+        // lower power at unchanged accepted throughput.
+        let net = small_net();
+        let cfg = ClosedLoopConfig::quick();
+        let baseline =
+            crate::closed_loop::run_operating_point(&net, traffic(0.02), PolicyKind::NoDvfs, &cfg, 3);
+        let gated = run_operating_point_gated(
+            &net,
+            traffic(0.02),
+            PolicyKind::NoDvfs,
+            GatingPolicyKind::BreakEvenAware(BreakEvenConfig::new()),
+            &cfg,
+            3,
+        );
+        assert!(
+            gated.aggregate.power_mw < baseline.power_mw,
+            "gating must cut total power ({} vs {} mW)",
+            gated.aggregate.power_mw,
+            baseline.power_mw
+        );
+        let t0 = baseline.throughput;
+        let t1 = gated.aggregate.throughput;
+        assert!(
+            (t1 - t0).abs() <= 0.02 * t0.max(1e-12),
+            "accepted throughput must be unchanged ({t0} vs {t1})"
+        );
+    }
+
+    #[test]
+    fn immediate_sleep_gates_more_but_thrashes_more() {
+        let net = small_net();
+        let cfg = ClosedLoopConfig::quick();
+        let imm = run_operating_point_gated(
+            &net,
+            traffic(0.02),
+            PolicyKind::NoDvfs,
+            GatingPolicyKind::ImmediateSleep,
+            &cfg,
+            5,
+        );
+        let be = run_operating_point_gated(
+            &net,
+            traffic(0.02),
+            PolicyKind::NoDvfs,
+            GatingPolicyKind::BreakEvenAware(BreakEvenConfig::new()),
+            &cfg,
+            5,
+        );
+        // Immediate sleep thrashes: far more transitions, each bought below
+        // break-even, and the wakeup stalls snowball into queueing delay —
+        // the break-even-aware policy must beat it on every axis that
+        // matters.
+        assert!(
+            imm.gating.total().sleep_events > 2 * be.gating.total().sleep_events,
+            "immediate sleep must transition far more often ({} vs {})",
+            imm.gating.total().sleep_events,
+            be.gating.total().sleep_events
+        );
+        assert!(
+            be.gating.total().net_saving_pj() > imm.gating.total().net_saving_pj(),
+            "break-even awareness must net more energy than thrashing"
+        );
+        assert!(be.gating.total().net_saving_pj() > 0.0, "break-even gating must pay off");
+        assert!(
+            be.aggregate.power_mw < imm.aggregate.power_mw,
+            "thrash shows up as power ({} vs {} mW)",
+            imm.aggregate.power_mw,
+            be.aggregate.power_mw
+        );
+        assert!(
+            be.aggregate.avg_delay_ns < imm.aggregate.avg_delay_ns,
+            "thrash shows up as wakeup-stall delay"
+        );
+    }
+}

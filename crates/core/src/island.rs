@@ -22,7 +22,7 @@
 use crate::closed_loop::{interval_cycles, ClosedLoopConfig, OperatingPointResult};
 use crate::policy::{ControlMeasurement, DvfsPolicy, PolicyKind};
 use noc_power::{model::EnergyBreakdown, FdsoiTech, FrequencyResidency, RouterPowerModel};
-use noc_sim::{Hertz, NetworkConfig, NocSimulation, TrafficSpec, WindowMeasurement};
+use noc_sim::{Hertz, NetworkActivity, NetworkConfig, NocSimulation, TrafficSpec, WindowMeasurement};
 use serde::{Deserialize, Serialize};
 
 /// One DVFS controller instance per voltage-frequency island.
@@ -177,6 +177,29 @@ pub fn run_operating_point_islands(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> IslandOperatingPointResult {
+    run_islands_loop(net, traffic, policy, loop_cfg, seed, |_, _, _| {}, |_, _, _| {})
+}
+
+/// The island control loop shared by [`run_operating_point_islands`] and the
+/// gated variant ([`run_operating_point_gated`](crate::run_operating_point_gated)).
+///
+/// `control_hook(sim, frequencies, windows)` runs after every control update
+/// (warm-up and measurement) with the frequencies just applied — the gated
+/// loop actuates per-island idle thresholds there. `measure_hook(activity,
+/// frequencies, wall_span_ps)` runs once per measured interval with the
+/// interval's activity and the frequencies that were in force — the gated
+/// loop accumulates its [`GatingResidency`](noc_power::GatingResidency)
+/// there. With no-op hooks this is exactly the historical per-island loop,
+/// bit for bit.
+pub(crate) fn run_islands_loop(
+    net: &NetworkConfig,
+    traffic: Box<dyn TrafficSpec>,
+    policy: PolicyKind,
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+    mut control_hook: impl FnMut(&mut NocSimulation, &[Hertz], &[WindowMeasurement]),
+    mut measure_hook: impl FnMut(&NetworkActivity, &[Hertz], f64),
+) -> IslandOperatingPointResult {
     loop_cfg.validate();
     let offered_load = traffic.offered_load();
     let tech = FdsoiTech::new();
@@ -228,6 +251,7 @@ pub fn run_operating_point_islands(
         }
         let next = next.to_vec();
         apply(&mut sim, &next);
+        control_hook(&mut sim, &next, &windows);
     }
 
     // Measurement phase.
@@ -282,8 +306,10 @@ pub fn run_operating_point_islands(
         node_cycles += window.node_cycles;
         noc_cycles += window.noc_cycles;
 
+        measure_hook(&activity, controller.frequencies(), window.wall_time_ps);
         let next = controller.next_frequencies(&windows).to_vec();
         apply(&mut sim, &next);
+        control_hook(&mut sim, &next, &windows);
     }
 
     let stats = sim.stats();

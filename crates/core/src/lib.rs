@@ -57,6 +57,7 @@
 pub mod closed_loop;
 pub mod dmsd;
 pub mod experiments;
+pub mod gating;
 pub mod island;
 pub mod parallel;
 pub mod pi;
@@ -69,6 +70,10 @@ pub mod sweep;
 
 pub use closed_loop::{run_operating_point, ClosedLoopConfig, OperatingPointResult};
 pub use dmsd::{Dmsd, DmsdConfig};
+pub use gating::{
+    run_operating_point_gated, BreakEvenConfig, CombinedController, GatedOperatingPointResult,
+    GatingPolicyKind, DEFAULT_WAKEUP_LATENCY,
+};
 pub use island::{
     run_operating_point_islands, IslandOperatingPointResult, IslandSummary, MultiIslandController,
 };
@@ -77,8 +82,9 @@ pub use policy::{ControlMeasurement, DvfsPolicy, NoDvfs, PolicyKind};
 pub use rmsd::{Rmsd, RmsdConfig};
 pub use saturation::find_saturation_rate;
 pub use scenario::{
-    compare_policies_scenario, scenario_grid, scenario_grid_islands, sweep_scenario_grid,
-    sweep_scenario_islands, InjectionProcess, IslandSweepPoint, Scenario,
+    compare_policies_scenario, scenario_grid, scenario_grid_gated, scenario_grid_islands,
+    sweep_scenario_gated, sweep_scenario_grid, sweep_scenario_islands, GatedSweepPoint,
+    InjectionProcess, IslandSweepPoint, Scenario,
 };
 pub use summary::TradeOffSummary;
 pub use sweep::{PolicyCurve, SweepPoint};

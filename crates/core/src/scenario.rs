@@ -18,6 +18,7 @@
 
 use crate::closed_loop::ClosedLoopConfig;
 use crate::experiments::{ExperimentQuality, PolicyComparison, PAPER_LAMBDA_MAX_MARGIN};
+use crate::gating::{run_operating_point_gated, GatedOperatingPointResult, GatingPolicyKind};
 use crate::island::{run_operating_point_islands, IslandOperatingPointResult};
 use crate::policy::PolicyKind;
 use crate::saturation::find_saturation_load;
@@ -59,8 +60,8 @@ impl InjectionProcess {
     }
 }
 
-/// One point of the scenario grid: topology, pattern, injection process and
-/// voltage-frequency island layout.
+/// One point of the scenario grid: topology, pattern, injection process,
+/// voltage-frequency island layout and power-gating policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Mesh or torus.
@@ -73,17 +74,23 @@ pub struct Scenario {
     /// single-island global-DVFS setting — unless widened via
     /// [`islands`](Scenario::islands)).
     pub regions: RegionLayout,
+    /// Power-gating axis: `None` (the historical ungated setting) or a
+    /// gating policy run alongside DVFS (set via [`gated`](Scenario::gated);
+    /// sweeps then dispatch through
+    /// [`run_operating_point_gated`]).
+    pub gating: Option<GatingPolicyKind>,
 }
 
 impl Scenario {
     /// A Bernoulli scenario (the paper's injection process) on a single
-    /// island.
+    /// island, ungated.
     pub fn new(topology: TopologyKind, pattern: TrafficPattern) -> Self {
         Scenario {
             topology,
             pattern,
             injection: InjectionProcess::Bernoulli,
             regions: RegionLayout::Whole,
+            gating: None,
         }
     }
 
@@ -97,17 +104,25 @@ impl Scenario {
         Scenario { regions, ..self }
     }
 
+    /// The same scenario with power gating run by the given policy.
+    pub fn gated(self, gating: GatingPolicyKind) -> Self {
+        Scenario { gating: Some(gating), ..self }
+    }
+
     /// A `topology/pattern/process` label for figures and reports, e.g.
     /// `"torus/hotspot/bursty"`; multi-island scenarios append the layout
-    /// (`"torus/hotspot/bursty/quadrants"`).
+    /// (`"torus/hotspot/bursty/quadrants"`) and gated scenarios the gating
+    /// policy (`"mesh/uniform/bernoulli/break-even"`).
     pub fn label(&self) -> String {
-        let base =
+        let mut label =
             format!("{}/{}/{}", self.topology.name(), self.pattern.name(), self.injection.name());
-        if self.regions == RegionLayout::Whole {
-            base
-        } else {
-            format!("{base}/{}", self.regions.name())
+        if self.regions != RegionLayout::Whole {
+            label = format!("{label}/{}", self.regions.name());
         }
+        if let Some(gating) = self.gating {
+            label = format!("{label}/{}", gating.name());
+        }
+        label
     }
 
     /// Rebuilds `base` with this scenario's topology and island layout (all
@@ -234,6 +249,12 @@ pub fn sweep_scenario(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
+    if scenario.gating.is_some() {
+        return aggregate_gated_curves(
+            policies,
+            sweep_scenario_gated(net, scenario, loads, policies, loop_cfg, seed),
+        );
+    }
     if scenario.regions == RegionLayout::Whole {
         let factory = |load: f64| scenario.traffic(net, load);
         return sweep_policies(net, loads, &factory, policies, loop_cfg, seed);
@@ -254,6 +275,12 @@ pub fn sweep_scenario_serial(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<PolicyCurve> {
+    if scenario.gating.is_some() {
+        return aggregate_gated_curves(
+            policies,
+            sweep_scenario_gated_serial(net, scenario, loads, policies, loop_cfg, seed),
+        );
+    }
     if scenario.regions == RegionLayout::Whole {
         let factory = |load: f64| scenario.traffic(net, load);
         return sweep_policies_serial(net, loads, &factory, policies, loop_cfg, seed);
@@ -310,6 +337,11 @@ pub fn scenario_grid_islands(
 /// Like every sweep, each operating point is an independent simulation with
 /// an explicit seed, so the output is bit-identical to
 /// [`sweep_scenario_islands_serial`].
+///
+/// # Panics
+///
+/// Panics on a gated scenario (`scenario.gating != None`): those sweep
+/// through [`sweep_scenario_gated`] (or the [`sweep_scenario`] dispatcher).
 pub fn sweep_scenario_islands(
     net: &NetworkConfig,
     scenario: Scenario,
@@ -318,6 +350,11 @@ pub fn sweep_scenario_islands(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<Vec<IslandSweepPoint>> {
+    assert!(
+        scenario.gating.is_none(),
+        "gated scenarios must sweep through sweep_scenario_gated (or the sweep_scenario \
+         dispatcher) — running them ungated would mislabel the curves"
+    );
     crate::sweep::sweep_policy_grid(loads, policies.len(), |pi, load| IslandSweepPoint {
         load,
         result: run_operating_point_islands(
@@ -332,6 +369,12 @@ pub fn sweep_scenario_islands(
 
 /// Serial reference implementation of [`sweep_scenario_islands`] —
 /// bit-identical results, used by the parity tests.
+///
+/// # Panics
+///
+/// Panics on a gated scenario (`scenario.gating != None`): those sweep
+/// through [`sweep_scenario_gated_serial`] (or the [`sweep_scenario_serial`]
+/// dispatcher).
 pub fn sweep_scenario_islands_serial(
     net: &NetworkConfig,
     scenario: Scenario,
@@ -340,6 +383,11 @@ pub fn sweep_scenario_islands_serial(
     loop_cfg: &ClosedLoopConfig,
     seed: u64,
 ) -> Vec<Vec<IslandSweepPoint>> {
+    assert!(
+        scenario.gating.is_none(),
+        "gated scenarios must sweep through sweep_scenario_gated_serial (or the \
+         sweep_scenario_serial dispatcher) — running them ungated would mislabel the curves"
+    );
     policies
         .iter()
         .map(|policy| {
@@ -367,6 +415,121 @@ pub struct IslandSweepPoint {
     pub load: f64,
     /// The aggregate + per-island operating point.
     pub result: IslandOperatingPointResult,
+}
+
+/// Projects per-policy gated sweeps onto labelled aggregate
+/// [`PolicyCurve`]s, dropping the per-island and residency detail.
+fn aggregate_gated_curves(
+    policies: &[PolicyKind],
+    groups: Vec<Vec<GatedSweepPoint>>,
+) -> Vec<PolicyCurve> {
+    policies
+        .iter()
+        .zip(groups)
+        .map(|(p, points)| PolicyCurve {
+            policy: p.name().to_string(),
+            points: points
+                .into_iter()
+                .map(|point| SweepPoint { load: point.load, result: point.result.aggregate })
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`scenario_grid`] crossed with power-gating policies: every valid
+/// `topology × pattern × injection` combination is instantiated once per
+/// entry of `gatings` (`None` keeps the ungated scenario in the grid).
+pub fn scenario_grid_gated(
+    base: &NetworkConfig,
+    include_bursty: bool,
+    gatings: &[Option<GatingPolicyKind>],
+) -> Vec<Scenario> {
+    scenario_grid(base, include_bursty)
+        .into_iter()
+        .flat_map(|s| {
+            gatings.iter().map(move |&g| match g {
+                Some(kind) => s.gated(kind),
+                None => s,
+            })
+        })
+        .collect()
+}
+
+/// Parallel multi-policy, multi-load sweep of one scenario under **combined
+/// DVFS + power-gating control**
+/// ([`run_operating_point_gated`]): the
+/// gated analogue of [`sweep_scenario_islands`]. Returns, per policy, the
+/// `(load, gated result)` points in load order; each point carries the full
+/// [`GatingResidency`](noc_power::GatingResidency).
+///
+/// # Panics
+///
+/// Panics if the scenario has no gating axis (`scenario.gating == None`).
+pub fn sweep_scenario_gated(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<Vec<GatedSweepPoint>> {
+    let gating = scenario.gating.expect("sweep_scenario_gated needs a gated scenario");
+    crate::sweep::sweep_policy_grid(loads, policies.len(), |pi, load| GatedSweepPoint {
+        load,
+        result: run_operating_point_gated(
+            net,
+            scenario.traffic(net, load),
+            policies[pi].clone(),
+            gating,
+            loop_cfg,
+            seed,
+        ),
+    })
+}
+
+/// Serial reference implementation of [`sweep_scenario_gated`] —
+/// bit-identical results, used by the parity tests.
+///
+/// # Panics
+///
+/// Panics if the scenario has no gating axis (`scenario.gating == None`).
+pub fn sweep_scenario_gated_serial(
+    net: &NetworkConfig,
+    scenario: Scenario,
+    loads: &[f64],
+    policies: &[PolicyKind],
+    loop_cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Vec<Vec<GatedSweepPoint>> {
+    let gating = scenario.gating.expect("sweep_scenario_gated needs a gated scenario");
+    policies
+        .iter()
+        .map(|policy| {
+            loads
+                .iter()
+                .map(|&load| GatedSweepPoint {
+                    load,
+                    result: run_operating_point_gated(
+                        net,
+                        scenario.traffic(net, load),
+                        policy.clone(),
+                        gating,
+                        loop_cfg,
+                        seed,
+                    ),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One `(load, gated result)` pair of a gated sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatedSweepPoint {
+    /// The injection-rate load parameter.
+    pub load: f64,
+    /// The aggregate + per-island + gating-residency operating point.
+    pub result: GatedOperatingPointResult,
 }
 
 #[cfg(test)]
@@ -536,6 +699,84 @@ mod tests {
                 assert!(point.result.aggregate.packets_delivered > 0);
             }
         }
+    }
+
+    #[test]
+    fn gated_labels_and_grid_compose() {
+        use crate::gating::{BreakEvenConfig, GatingPolicyKind};
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .gated(GatingPolicyKind::BreakEvenAware(BreakEvenConfig::new()));
+        assert_eq!(s.label(), "mesh/uniform/bernoulli/break-even");
+        let s = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot)
+            .bursty()
+            .islands(RegionLayout::Quadrants)
+            .gated(GatingPolicyKind::ImmediateSleep);
+        assert_eq!(s.label(), "torus/hotspot/bursty/quadrants/imm-sleep");
+        let base = small_base();
+        let grid = scenario_grid_gated(
+            &base,
+            false,
+            &[None, Some(GatingPolicyKind::IdleThreshold(16))],
+        );
+        assert_eq!(grid.len(), 2 * scenario_grid(&base, false).len());
+        assert!(grid.iter().filter(|s| s.gating.is_some()).count() * 2 == grid.len());
+    }
+
+    #[test]
+    fn gated_scenario_sweep_serial_parallel_parity() {
+        use crate::gating::GatingPolicyKind;
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .gated(GatingPolicyKind::IdleThreshold(12));
+        let net = scenario.network(&base).unwrap();
+        let loads = [0.02, 0.05];
+        let policies =
+            vec![PolicyKind::NoDvfs, PolicyKind::Rmsd(crate::rmsd::RmsdConfig::with_lambda_max(0.3))];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let parallel = sweep_scenario_gated(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        let serial =
+            sweep_scenario_gated_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(parallel, serial);
+        for curve in &parallel {
+            for point in curve {
+                assert!(point.result.aggregate.packets_delivered > 0);
+                assert!(point.result.gated_fraction() > 0.0, "light loads must gate");
+            }
+        }
+        // The standard sweep dispatches gated scenarios to the gated loop:
+        // aggregates must match the dedicated path bit for bit.
+        let curves = sweep_scenario(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(curves[0].points[0].result, parallel[0][0].result.aggregate);
+        let curves_serial =
+            sweep_scenario_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(curves, curves_serial);
+        // And a gated curve is a genuinely different operating point from
+        // the ungated one (lower power at light load).
+        let ungated = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform);
+        let plain = sweep_scenario(&net, ungated, &loads, &policies, &loop_cfg, 2015);
+        assert!(
+            curves[0].points[0].result.power_mw < plain[0].points[0].result.power_mw,
+            "gating must show up as saved power"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep_scenario_gated")]
+    fn island_sweep_rejects_gated_scenarios() {
+        use crate::gating::GatingPolicyKind;
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .islands(RegionLayout::Quadrants)
+            .gated(GatingPolicyKind::ImmediateSleep);
+        let net = scenario.network(&base).unwrap();
+        let _ = sweep_scenario_islands(
+            &net,
+            scenario,
+            &[0.05],
+            &[PolicyKind::NoDvfs],
+            &ClosedLoopConfig::quick(),
+            1,
+        );
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct RouterActivity {
     pub ejected_flits: u64,
     /// NoC cycles covered by this activity window.
     pub cycles: u64,
+    /// Domain cycles of the window the router spent power-gated (0 unless
+    /// gating is enabled; always `<= cycles`).
+    pub gated_cycles: u64,
+    /// Completed sleep (power-down) transitions in the window.
+    pub sleep_events: u64,
+    /// Wake (power-up) transitions in the window.
+    pub wake_events: u64,
 }
 
 impl RouterActivity {
@@ -49,9 +56,14 @@ impl RouterActivity {
             + self.ejected_flits
     }
 
-    /// Whether no events have been recorded.
+    /// Whether no events have been recorded — including gating transitions
+    /// and gated residency, so that an idle-record fast path (one energy
+    /// evaluation shared by all idle routers) stays exact under gating.
     pub fn is_idle(&self) -> bool {
         self.total_events() == 0
+            && self.gated_cycles == 0
+            && self.sleep_events == 0
+            && self.wake_events == 0
     }
 }
 
@@ -67,6 +79,9 @@ impl Add for RouterActivity {
             link_flits: self.link_flits + rhs.link_flits,
             ejected_flits: self.ejected_flits + rhs.ejected_flits,
             cycles: self.cycles + rhs.cycles,
+            gated_cycles: self.gated_cycles + rhs.gated_cycles,
+            sleep_events: self.sleep_events + rhs.sleep_events,
+            wake_events: self.wake_events + rhs.wake_events,
         }
     }
 }
@@ -123,6 +138,9 @@ mod tests {
             link_flits: 6,
             ejected_flits: 7,
             cycles: 8,
+            gated_cycles: 2,
+            sleep_events: 1,
+            wake_events: 1,
         };
         let b = a;
         let c = a + b;
@@ -137,6 +155,14 @@ mod tests {
         let mut a = RouterActivity::new();
         a.link_flits = 1;
         assert!(!a.is_idle());
+        // A router that slept is not "idle" for the power model: its gated
+        // residency and transition events change its energy.
+        let mut b = RouterActivity::new();
+        b.gated_cycles = 100;
+        assert!(!b.is_idle());
+        let mut c = RouterActivity::new();
+        c.wake_events = 1;
+        assert!(!c.is_idle());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! frequency range of the NoC clock and the fixed node-clock frequency.
 
 use crate::error::ConfigError;
+use crate::gating::GatingConfig;
 use crate::region::{RegionMap, RegionScheme};
 use crate::topology::{Topology, TopologyKind};
 use crate::traffic::{SyntheticTraffic, TrafficPattern};
@@ -56,6 +57,7 @@ pub struct NetworkConfig {
     min_frequency_hz: f64,
     max_frequency_hz: f64,
     regions: RegionScheme,
+    gating: GatingConfig,
 }
 
 impl NetworkConfig {
@@ -158,6 +160,12 @@ impl NetworkConfig {
         &self.regions
     }
 
+    /// The power-gating parameters (disabled by default, in which case the
+    /// gating machinery is a structural no-op in the simulator).
+    pub fn gating(&self) -> &GatingConfig {
+        &self.gating
+    }
+
     /// The resolved `node → island` partition described by
     /// [`regions`](Self::regions).
     ///
@@ -189,6 +197,7 @@ impl NetworkConfig {
             min_frequency_hz: self.min_frequency_hz,
             max_frequency_hz: self.max_frequency_hz,
             regions: self.regions.clone(),
+            gating: self.gating.clone(),
         }
     }
 
@@ -229,6 +238,7 @@ pub struct NetworkConfigBuilder {
     min_frequency_hz: f64,
     max_frequency_hz: f64,
     regions: RegionScheme,
+    gating: GatingConfig,
 }
 
 impl NetworkConfigBuilder {
@@ -247,6 +257,7 @@ impl NetworkConfigBuilder {
             min_frequency_hz: DEFAULT_MIN_FREQUENCY_HZ,
             max_frequency_hz: DEFAULT_MAX_FREQUENCY_HZ,
             regions: RegionScheme::default(),
+            gating: GatingConfig::disabled(),
         }
     }
 
@@ -334,6 +345,14 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Sets the power-gating parameters (default:
+    /// [`GatingConfig::disabled`]). Per-island overrides are validated
+    /// against the island partition by [`build`](Self::build).
+    pub fn gating(mut self, gating: GatingConfig) -> Self {
+        self.gating = gating;
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     ///
     /// # Errors
@@ -365,8 +384,10 @@ impl NetworkConfigBuilder {
                 max_hz: self.max_frequency_hz,
             });
         }
-        // Resolve once to validate custom maps (length, contiguous ids).
-        self.regions.build(self.width, self.height)?;
+        // Resolve once to validate custom maps (length, contiguous ids) and
+        // to check gating overrides against the island count.
+        let region_map = self.regions.build(self.width, self.height)?;
+        self.gating.validate(region_map.island_count())?;
         Ok(NetworkConfig {
             topology: self.topology,
             width: self.width,
@@ -380,6 +401,7 @@ impl NetworkConfigBuilder {
             min_frequency_hz: self.min_frequency_hz,
             max_frequency_hz: self.max_frequency_hz,
             regions: self.regions,
+            gating: self.gating,
         })
     }
 }
@@ -597,6 +619,43 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(ok.region_map().island_count(), 2);
+    }
+
+    #[test]
+    fn gating_defaults_to_disabled_and_round_trips() {
+        use crate::gating::GatingConfig;
+        let cfg = NetworkConfig::paper_baseline();
+        assert!(!cfg.gating().is_enabled());
+        let cfg = NetworkConfig::builder()
+            .mesh(4, 4)
+            .gating(GatingConfig::enabled(24, 6))
+            .build()
+            .unwrap();
+        assert!(cfg.gating().is_enabled());
+        assert_eq!(cfg.gating().idle_threshold(), 24);
+        assert_eq!(cfg.gating().wakeup_latency(), 6);
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+    }
+
+    #[test]
+    fn builder_rejects_gating_override_for_missing_island() {
+        use crate::gating::GatingConfig;
+        use crate::region::RegionLayout;
+        let err = NetworkConfig::builder()
+            .mesh(4, 4)
+            .regions(RegionLayout::Quadrants)
+            .gating(GatingConfig::enabled(16, 4).with_island_override(4, 8, 2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::GatingIslandOutOfRange { island: 4, island_count: 4 });
+        // The same override is valid on an island that exists.
+        let ok = NetworkConfig::builder()
+            .mesh(4, 4)
+            .regions(RegionLayout::Quadrants)
+            .gating(GatingConfig::enabled(16, 4).with_island_override(3, 8, 2))
+            .build()
+            .unwrap();
+        assert_eq!(ok.gating().overrides().len(), 1);
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub enum ConfigError {
         /// The smallest id that owns no node.
         missing: u32,
     },
+    /// A per-island gating override names an island the region partition
+    /// does not have.
+    GatingIslandOutOfRange {
+        /// The island id named by the override.
+        island: usize,
+        /// Number of islands in the region partition.
+        island_count: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -105,6 +113,11 @@ impl fmt::Display for ConfigError {
                 f,
                 "region map island ids must be contiguous from 0: {island_count} islands \
                  implied but island {missing} owns no node"
+            ),
+            ConfigError::GatingIslandOutOfRange { island, island_count } => write!(
+                f,
+                "gating override names island {island} but the region partition has only \
+                 {island_count} island(s)"
             ),
         }
     }

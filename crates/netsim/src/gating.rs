@@ -1,0 +1,673 @@
+//! Router power gating: per-router sleep/wakeup state machines built on the
+//! sparse engine's quiescence substrate.
+//!
+//! DVFS attacks dynamic power; leakage only falls when idle resources are
+//! actually switched off. The activity-tracked core already knows, per cycle,
+//! exactly which routers are quiescent — this module turns that bookkeeping
+//! into a power-gating subsystem:
+//!
+//! * [`GatingConfig`] — per-network gating parameters (enabled, idle
+//!   threshold, wakeup latency) with optional per-island overrides, stored
+//!   inside [`NetworkConfig`](crate::NetworkConfig) and validated by its
+//!   builder;
+//! * [`GateState`] — the per-router sleep state machine
+//!   `Active → DrainWait → Gated → WakeUp → Active`;
+//! * `GatingController` (crate-internal) — the event-driven mechanics the
+//!   [`NocSimulation`](crate::NocSimulation) driver runs each cycle.
+//!
+//! # The state machine and the drain/fence contract
+//!
+//! A router that has been continuously quiescent (no buffered flit) for
+//! `idle_threshold` of its island's domain cycles enters **DrainWait**: the
+//! intent to gate. It actually gates only once every in-flight flit headed
+//! for it has landed — all incoming link channels and its injection channel
+//! are empty — so a flit can never arrive at a powered-down router. Any
+//! arrival during DrainWait aborts back to Active (no wakeup penalty: the
+//! power-down had not begun).
+//!
+//! Once **Gated**, the router's links are *fenced*: a neighbour whose switch
+//! allocation wants to forward a flit towards it keeps the flit buffered
+//! (exactly as if the output had no credit) and raises a **wakeup request**
+//! instead; the local source is likewise fenced and raises a wakeup when it
+//! has flits to inject. The first request moves the router to **WakeUp**; it
+//! becomes Active `wakeup_latency` domain cycles later and traffic resumes.
+//! Nothing is ever dropped: flits wait upstream behind the fence, and
+//! credit returns into a gated router simply update its retained credit
+//! counters (observationally identical to fencing and replaying them at
+//! wakeup, because a gated router runs no allocation until it is Active
+//! again). The no-lost-flits / no-lost-credits contract is pinned by
+//! `tests/gating_invariants.rs`.
+//!
+//! With gating disabled (the default) the controller is a structural no-op:
+//! every golden window sequence is bit-identical to the ungated simulator
+//! under both the sparse and the dense engine.
+
+use crate::config::MAX_CHANNEL_LATENCY;
+use crate::error::ConfigError;
+use crate::region::RegionMap;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Idle-threshold value meaning "never gate this island's routers".
+///
+/// Gating policies use this as the *off* actuator position: the sleep timer
+/// is never armed, but routers already gated stay gated until traffic wakes
+/// them (switching a sleeping router on without demand would waste the very
+/// transition energy the policy is trying to save).
+pub const GATE_NEVER: u64 = u64::MAX;
+
+/// Power-gating state of one router.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateState {
+    /// Powered on and participating normally in the pipeline.
+    #[default]
+    Active,
+    /// Idle past the threshold; waiting for in-flight traffic towards the
+    /// router to drain before the power gate closes. Not fenced: an arrival
+    /// aborts back to [`Active`](GateState::Active) at no cost.
+    DrainWait,
+    /// Power-gated: the pipeline is off, links towards the router are
+    /// fenced, and only retained state (credit counters) is kept.
+    Gated,
+    /// Powering back up after a wakeup request; still fenced until the
+    /// configured wakeup latency elapses.
+    WakeUp,
+}
+
+impl GateState {
+    /// Whether links towards a router in this state are fenced: neighbours
+    /// must hold flits upstream and raise a wakeup request instead of
+    /// sending.
+    #[inline]
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, GateState::Gated | GateState::WakeUp)
+    }
+}
+
+/// A per-island override of the gating parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerIslandGating {
+    /// Island id the override applies to (validated against the region
+    /// partition by [`NetworkConfigBuilder::build`](crate::NetworkConfigBuilder::build)).
+    pub island: usize,
+    /// Idle threshold for the island, domain cycles ([`GATE_NEVER`] disables
+    /// gating on the island).
+    pub idle_threshold: u64,
+    /// Wakeup latency for the island, domain cycles (clamped to
+    /// `1..=`[`MAX_CHANNEL_LATENCY`]).
+    pub wakeup_latency: u64,
+}
+
+/// Power-gating parameters of a network, stored inside
+/// [`NetworkConfig`](crate::NetworkConfig).
+///
+/// ```
+/// use noc_sim::{GatingConfig, NetworkConfig};
+///
+/// let cfg = NetworkConfig::builder()
+///     .mesh(4, 4)
+///     .virtual_channels(2)
+///     .buffer_depth(4)
+///     .packet_length(5)
+///     .gating(GatingConfig::enabled(32, 8))
+///     .build()
+///     .unwrap();
+/// assert!(cfg.gating().is_enabled());
+/// assert_eq!(cfg.gating().idle_threshold(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatingConfig {
+    enabled: bool,
+    idle_threshold: u64,
+    wakeup_latency: u64,
+    per_island: Vec<PerIslandGating>,
+}
+
+impl GatingConfig {
+    /// Gating switched off — the default, and a structural no-op in the
+    /// simulator (golden windows are bit-identical to the pre-gating core).
+    pub fn disabled() -> Self {
+        GatingConfig {
+            enabled: false,
+            idle_threshold: GATE_NEVER,
+            wakeup_latency: 1,
+            per_island: Vec::new(),
+        }
+    }
+
+    /// Gating enabled with an `idle_threshold` (domain cycles of continuous
+    /// quiescence before a router starts powering down) and a
+    /// `wakeup_latency` (domain cycles from the first wakeup request until
+    /// the router is usable again).
+    ///
+    /// The wakeup latency is clamped to
+    /// `1..=`[`MAX_CHANNEL_LATENCY`],
+    /// mirroring the channel-latency convention.
+    pub fn enabled(idle_threshold: u64, wakeup_latency: u64) -> Self {
+        GatingConfig {
+            enabled: true,
+            idle_threshold,
+            wakeup_latency: wakeup_latency.clamp(1, MAX_CHANNEL_LATENCY),
+            per_island: Vec::new(),
+        }
+    }
+
+    /// Adds a per-island override (later overrides for the same island win).
+    /// The island id is validated against the region partition when the
+    /// [`NetworkConfig`](crate::NetworkConfig) is built.
+    pub fn with_island_override(
+        mut self,
+        island: usize,
+        idle_threshold: u64,
+        wakeup_latency: u64,
+    ) -> Self {
+        self.per_island.push(PerIslandGating {
+            island,
+            idle_threshold,
+            wakeup_latency: wakeup_latency.clamp(1, MAX_CHANNEL_LATENCY),
+        });
+        self
+    }
+
+    /// Whether gating is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The network-wide idle threshold in domain cycles.
+    pub fn idle_threshold(&self) -> u64 {
+        self.idle_threshold
+    }
+
+    /// The network-wide wakeup latency in domain cycles.
+    pub fn wakeup_latency(&self) -> u64 {
+        self.wakeup_latency
+    }
+
+    /// The per-island overrides, in insertion order.
+    pub fn overrides(&self) -> &[PerIslandGating] {
+        &self.per_island
+    }
+
+    /// Validates the overrides against an island count.
+    pub(crate) fn validate(&self, island_count: usize) -> Result<(), ConfigError> {
+        for o in &self.per_island {
+            if o.island >= island_count {
+                return Err(ConfigError::GatingIslandOutOfRange {
+                    island: o.island,
+                    island_count,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves `(idle_threshold, wakeup_latency)` per island.
+    pub(crate) fn resolve(&self, island_count: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut thresholds = vec![self.idle_threshold; island_count];
+        let mut latencies = vec![self.wakeup_latency; island_count];
+        for o in &self.per_island {
+            thresholds[o.island] = o.idle_threshold;
+            latencies[o.island] = o.wakeup_latency;
+        }
+        (thresholds, latencies)
+    }
+}
+
+impl Default for GatingConfig {
+    fn default() -> Self {
+        GatingConfig::disabled()
+    }
+}
+
+/// The event-driven gating mechanics run by the simulation driver.
+///
+/// Cost model: with gating disabled nothing here is touched; with gating
+/// enabled, all per-cycle work is event-driven — sleep timers live in a
+/// per-island due-heap armed only when a router *becomes* idle, wake timers
+/// in a per-island FIFO (wakeup latency is constant per island, so dues are
+/// pushed in order), and the DrainWait population is a small transient list.
+/// A fully gated idle network therefore costs O(islands) per cycle, the same
+/// as the plain idle sparse core ("gated routers are literally free").
+#[derive(Debug)]
+pub(crate) struct GatingController {
+    /// Master switch (config value; runtime-togglable through the driver).
+    pub(crate) enabled: bool,
+    /// Per-router gate state.
+    pub(crate) states: Vec<GateState>,
+    /// Per-router "currently quiescent" mirror maintained by idle/active
+    /// events from the driver.
+    pub(crate) idle: Vec<bool>,
+    /// Island domain cycle at which the router last became idle.
+    idle_since: Vec<u64>,
+    /// Node → island (copy of the region assignments).
+    island_of: Vec<u32>,
+    /// Per-island idle threshold in domain cycles ([`GATE_NEVER`] = off).
+    thresholds: Vec<u64>,
+    /// Per-island wakeup latency in domain cycles (≥ 1).
+    wake_latency: Vec<u64>,
+    /// Per-island sleep-timer due-heap: `(due domain cycle, node)`, popped
+    /// when the island's clock reaches `due`. Entries are hints — validity
+    /// (still idle, still Active, threshold still met) is re-checked at pop.
+    sleep_due: Vec<BinaryHeap<Reverse<(u64, u32)>>>,
+    /// Per-island wakeup FIFO: `(due domain cycle, node)` in push order.
+    wake_due: Vec<VecDeque<(u64, u32)>>,
+    /// Nodes currently in DrainWait (small, transient; lazily pruned).
+    drain_wait: Vec<u32>,
+    /// Number of routers in a fenced state (Gated | WakeUp) — the fast-path
+    /// gate for fence-mask computation in the pipeline phase.
+    pub(crate) fenced_count: usize,
+    /// Sources removed from the sparse pending worklist because their router
+    /// is fenced; re-inserted when the router wakes.
+    pub(crate) fenced_sources: Vec<bool>,
+    /// Domain cycle at which the router's current Gated span began.
+    gated_since: Vec<u64>,
+    /// Per-router gated domain cycles accumulated since the last activity
+    /// drain (completed spans only; the open span is closed at drain time).
+    win_gated_cycles: Vec<u64>,
+    /// Sleep (Active→Gated) transitions since the last activity drain.
+    win_sleep_events: Vec<u64>,
+    /// Wake (Gated→WakeUp) transitions since the last activity drain.
+    win_wake_events: Vec<u64>,
+}
+
+impl GatingController {
+    /// Builds the controller for a freshly constructed (empty, cycle-0)
+    /// network. With gating enabled every router starts idle and armed.
+    pub(crate) fn new(cfg: &GatingConfig, regions: &RegionMap) -> Self {
+        let n = regions.node_count();
+        let islands = regions.island_count();
+        let (thresholds, wake_latency) = cfg.resolve(islands);
+        let mut controller = GatingController {
+            enabled: cfg.is_enabled(),
+            states: vec![GateState::Active; n],
+            idle: vec![false; n],
+            idle_since: vec![0; n],
+            island_of: regions.assignments().to_vec(),
+            thresholds,
+            wake_latency,
+            sleep_due: (0..islands).map(|_| BinaryHeap::new()).collect(),
+            wake_due: (0..islands).map(|_| VecDeque::new()).collect(),
+            drain_wait: Vec::new(),
+            fenced_count: 0,
+            fenced_sources: vec![false; n],
+            gated_since: vec![0; n],
+            win_gated_cycles: vec![0; n],
+            win_sleep_events: vec![0; n],
+            win_wake_events: vec![0; n],
+        };
+        if controller.enabled {
+            for node in 0..n {
+                controller.mark_idle(node, 0);
+            }
+        }
+        controller
+    }
+
+    /// Current idle threshold of an island.
+    pub(crate) fn threshold(&self, island: usize) -> u64 {
+        self.thresholds[island]
+    }
+
+    /// Current wakeup latency of an island.
+    pub(crate) fn wakeup_latency(&self, island: usize) -> u64 {
+        self.wake_latency[island]
+    }
+
+    /// Number of routers currently in the [`Gated`](GateState::Gated) state.
+    pub(crate) fn gated_count(&self) -> usize {
+        self.states.iter().filter(|s| **s == GateState::Gated).count()
+    }
+
+    /// Marks a router idle as of `now` (its island's domain cycle) and arms
+    /// its sleep timer.
+    #[inline]
+    pub(crate) fn mark_idle(&mut self, node: usize, now: u64) {
+        debug_assert!(!self.idle[node], "idle transition of an already idle router");
+        self.idle[node] = true;
+        self.idle_since[node] = now;
+        self.arm(node, now);
+    }
+
+    /// (Re-)arms the sleep timer of an idle router.
+    fn arm(&mut self, node: usize, idle_since: u64) {
+        let island = self.island_of[node] as usize;
+        let threshold = self.thresholds[island];
+        if threshold != GATE_NEVER {
+            self.sleep_due[island]
+                .push(Reverse((idle_since.saturating_add(threshold), node as u32)));
+        }
+    }
+
+    /// Records a flit arrival at `node`: clears the idle flag and aborts a
+    /// pending DrainWait (no wakeup penalty — power-down had not begun).
+    ///
+    /// Must never be called for a fenced router: the fence exists precisely
+    /// so that no flit reaches a gated or waking router.
+    #[inline]
+    pub(crate) fn on_flit_arrival(&mut self, node: usize) {
+        debug_assert!(
+            !self.states[node].is_fenced(),
+            "a flit reached a fenced (gated/waking) router"
+        );
+        if self.states[node] == GateState::DrainWait {
+            self.states[node] = GateState::Active;
+        }
+        self.idle[node] = false;
+    }
+
+    /// Raises a wakeup request towards `node` (neighbour flit demand or
+    /// local source demand) at its island's domain cycle `now`. Idempotent:
+    /// only the first request of a Gated span starts the wakeup.
+    #[inline]
+    pub(crate) fn request_wakeup(&mut self, node: usize, now: u64) {
+        if self.states[node] != GateState::Gated {
+            return;
+        }
+        let island = self.island_of[node] as usize;
+        self.states[node] = GateState::WakeUp;
+        self.win_wake_events[node] += 1;
+        self.win_gated_cycles[node] += now - self.gated_since[node];
+        self.wake_due[island].push_back((now + self.wake_latency[island], node as u32));
+    }
+
+    /// Completes due wakeups of one island (`now` = the island's domain
+    /// cycle). Calls `source_unfenced` for every woken router whose local
+    /// source had been fenced off the pending worklist, so the driver can
+    /// restore it.
+    pub(crate) fn complete_wakeups(
+        &mut self,
+        island: usize,
+        now: u64,
+        mut source_unfenced: impl FnMut(usize),
+    ) {
+        while let Some(&(due, node)) = self.wake_due[island].front() {
+            if due > now {
+                break;
+            }
+            self.wake_due[island].pop_front();
+            let node = node as usize;
+            debug_assert_eq!(self.states[node], GateState::WakeUp);
+            self.states[node] = GateState::Active;
+            self.fenced_count -= 1;
+            // A freshly woken router is empty, hence idle again; re-arm so a
+            // spurious wakeup can put it back to sleep after the threshold.
+            self.idle[node] = true;
+            self.idle_since[node] = now;
+            self.arm(node, now);
+            if self.fenced_sources[node] {
+                self.fenced_sources[node] = false;
+                source_unfenced(node);
+            }
+        }
+    }
+
+    /// Pops due sleep timers of one island and moves still-idle routers into
+    /// DrainWait. `source_pending(node)` lets the driver veto a power-down
+    /// while the local source has queued flits (they would wake it right
+    /// back up).
+    pub(crate) fn start_drains(
+        &mut self,
+        island: usize,
+        now: u64,
+        mut source_pending: impl FnMut(usize) -> bool,
+    ) {
+        let threshold = self.thresholds[island];
+        while let Some(&Reverse((due, node))) = self.sleep_due[island].peek() {
+            if due > now {
+                break;
+            }
+            self.sleep_due[island].pop();
+            let n = node as usize;
+            // Entries are hints: re-validate against the current state (the
+            // router may have woken and re-idled, or the threshold changed).
+            if self.states[n] != GateState::Active
+                || !self.idle[n]
+                || threshold == GATE_NEVER
+                || now.saturating_sub(self.idle_since[n]) < threshold
+                || source_pending(n)
+            {
+                continue;
+            }
+            self.states[n] = GateState::DrainWait;
+            self.drain_wait.push(node);
+        }
+    }
+
+    /// Walks the DrainWait population and gates every router whose inbound
+    /// traffic has fully drained. The driver supplies `fires(island)`,
+    /// `inbound_clear(node)` (incoming link + injection channels empty) and
+    /// `source_pending(node)`.
+    pub(crate) fn complete_drains(
+        &mut self,
+        fires: impl Fn(usize) -> bool,
+        inbound_clear: impl Fn(usize) -> bool,
+        source_pending: impl Fn(usize) -> bool,
+        island_cycle: impl Fn(usize) -> u64,
+    ) {
+        if self.drain_wait.is_empty() {
+            return;
+        }
+        let mut drain_wait = std::mem::take(&mut self.drain_wait);
+        drain_wait.retain(|&node| {
+            let n = node as usize;
+            if self.states[n] != GateState::DrainWait {
+                // Aborted by a flit arrival; already back to Active.
+                return false;
+            }
+            let island = self.island_of[n] as usize;
+            if !fires(island) {
+                return true;
+            }
+            if !inbound_clear(n) || source_pending(n) {
+                return true;
+            }
+            self.states[n] = GateState::Gated;
+            self.gated_since[n] = island_cycle(island);
+            self.win_sleep_events[n] += 1;
+            self.fenced_count += 1;
+            false
+        });
+        self.drain_wait = drain_wait;
+    }
+
+    /// Changes one island's idle threshold and re-arms the sleep timers of
+    /// its currently idle Active routers against the new value (stale heap
+    /// entries are invalidated at pop time).
+    pub(crate) fn set_island_threshold(&mut self, island: usize, threshold: u64, now: u64) {
+        if self.thresholds[island] == threshold {
+            return;
+        }
+        self.thresholds[island] = threshold;
+        if !self.enabled || threshold == GATE_NEVER {
+            return;
+        }
+        for node in 0..self.states.len() {
+            if self.island_of[node] as usize == island
+                && self.states[node] == GateState::Active
+                && self.idle[node]
+            {
+                let due = self.idle_since[node].saturating_add(threshold).max(now);
+                self.sleep_due[island].push(Reverse((due, node as u32)));
+            }
+        }
+    }
+
+    /// Runtime-enables gating: every quiescent router starts its idle span
+    /// at its island's current domain cycle. `island_cycle(island)` supplies
+    /// the clocks, `quiescent(node)` the router state.
+    pub(crate) fn enable(
+        &mut self,
+        island_cycle: impl Fn(usize) -> u64,
+        quiescent: impl Fn(usize) -> bool,
+    ) {
+        if self.enabled {
+            return;
+        }
+        self.enabled = true;
+        for node in 0..self.states.len() {
+            if quiescent(node) {
+                // Idle spans start from scratch — the time a router sat idle
+                // while gating was off does not count towards the threshold.
+                let now = island_cycle(self.island_of[node] as usize);
+                self.idle[node] = true;
+                self.idle_since[node] = now;
+                self.arm(node, now);
+            } else {
+                self.idle[node] = false;
+            }
+        }
+    }
+
+    /// Runtime-disables gating: every gated/waking/draining router returns
+    /// to Active immediately (un-gating counts as a wake event for the
+    /// energy accounting) and all timers are cleared. Calls `source_unfenced`
+    /// for each router whose local source had been fenced, so the driver can
+    /// restore it to the pending worklist.
+    pub(crate) fn disable(
+        &mut self,
+        island_cycle: impl Fn(usize) -> u64,
+        mut source_unfenced: impl FnMut(usize),
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.enabled = false;
+        for node in 0..self.states.len() {
+            match self.states[node] {
+                GateState::Gated => {
+                    let now = island_cycle(self.island_of[node] as usize);
+                    self.win_wake_events[node] += 1;
+                    self.win_gated_cycles[node] += now - self.gated_since[node];
+                    self.states[node] = GateState::Active;
+                }
+                GateState::WakeUp | GateState::DrainWait => {
+                    self.states[node] = GateState::Active;
+                }
+                GateState::Active => {}
+            }
+            if self.fenced_sources[node] {
+                self.fenced_sources[node] = false;
+                source_unfenced(node);
+            }
+        }
+        self.fenced_count = 0;
+        self.drain_wait.clear();
+        for heap in &mut self.sleep_due {
+            heap.clear();
+        }
+        for fifo in &mut self.wake_due {
+            fifo.clear();
+        }
+    }
+
+    /// Drains one router's gating window counters (gated domain cycles,
+    /// sleep events, wake events) for an activity report; `now` is the
+    /// router's island domain cycle, used to close an open Gated span.
+    pub(crate) fn drain_router_window(&mut self, node: usize, now: u64) -> (u64, u64, u64) {
+        let mut gated = std::mem::take(&mut self.win_gated_cycles[node]);
+        if self.states[node] == GateState::Gated {
+            gated += now - self.gated_since[node];
+            self.gated_since[node] = now;
+        }
+        (
+            gated,
+            std::mem::take(&mut self.win_sleep_events[node]),
+            std::mem::take(&mut self.win_wake_events[node]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionLayout;
+
+    #[test]
+    fn disabled_config_is_the_default() {
+        assert_eq!(GatingConfig::default(), GatingConfig::disabled());
+        assert!(!GatingConfig::default().is_enabled());
+    }
+
+    #[test]
+    fn enabled_config_clamps_wakeup_latency() {
+        let g = GatingConfig::enabled(10, 0);
+        assert_eq!(g.wakeup_latency(), 1);
+        let g = GatingConfig::enabled(10, u64::MAX);
+        assert_eq!(g.wakeup_latency(), MAX_CHANNEL_LATENCY);
+    }
+
+    #[test]
+    fn overrides_resolve_per_island_with_last_wins() {
+        let g = GatingConfig::enabled(16, 4)
+            .with_island_override(1, 64, 2)
+            .with_island_override(1, 32, 8);
+        let (thresholds, latencies) = g.resolve(3);
+        assert_eq!(thresholds, vec![16, 32, 16]);
+        assert_eq!(latencies, vec![4, 8, 4]);
+        assert!(g.validate(3).is_ok());
+        assert_eq!(
+            g.validate(1),
+            Err(ConfigError::GatingIslandOutOfRange { island: 1, island_count: 1 })
+        );
+    }
+
+    #[test]
+    fn fenced_states_are_gated_and_wakeup() {
+        assert!(!GateState::Active.is_fenced());
+        assert!(!GateState::DrainWait.is_fenced());
+        assert!(GateState::Gated.is_fenced());
+        assert!(GateState::WakeUp.is_fenced());
+    }
+
+    #[test]
+    fn controller_walks_the_state_machine() {
+        let map = RegionLayout::Whole.build(2, 2);
+        let mut c = GatingController::new(&GatingConfig::enabled(3, 2), &map);
+        assert!(c.enabled);
+        // All four routers idle from cycle 0; due at cycle 3.
+        c.start_drains(0, 2, |_| false);
+        assert!(c.drain_wait.is_empty());
+        c.start_drains(0, 3, |_| false);
+        assert_eq!(c.drain_wait.len(), 4);
+        assert_eq!(c.states[0], GateState::DrainWait);
+        // Inbound clear on every node: all gate.
+        c.complete_drains(|_| true, |_| true, |_| false, |_| 3);
+        assert_eq!(c.gated_count(), 4);
+        assert_eq!(c.fenced_count, 4);
+        // Wake node 2 at cycle 10; due at 12.
+        c.request_wakeup(2, 10);
+        assert_eq!(c.states[2], GateState::WakeUp);
+        c.request_wakeup(2, 10); // idempotent
+        c.fenced_sources[2] = true;
+        let mut unfenced = Vec::new();
+        c.complete_wakeups(0, 11, |n| unfenced.push(n));
+        assert!(unfenced.is_empty());
+        c.complete_wakeups(0, 12, |n| unfenced.push(n));
+        assert_eq!(unfenced, vec![2], "the fenced source is handed back at wakeup");
+        assert!(!c.fenced_sources[2]);
+        assert_eq!(c.states[2], GateState::Active);
+        assert!(c.idle[2], "a woken router is empty, hence idle again");
+        let (gated, sleeps, wakes) = c.drain_router_window(2, 12);
+        assert_eq!(gated, 10 - 3);
+        assert_eq!(sleeps, 1);
+        assert_eq!(wakes, 1);
+    }
+
+    #[test]
+    fn arrival_aborts_drain_wait_without_a_wake_event() {
+        let map = RegionLayout::Whole.build(2, 2);
+        let mut c = GatingController::new(&GatingConfig::enabled(1, 4), &map);
+        c.start_drains(0, 1, |_| false);
+        assert_eq!(c.states[0], GateState::DrainWait);
+        c.on_flit_arrival(0);
+        assert_eq!(c.states[0], GateState::Active);
+        assert!(!c.idle[0]);
+        c.complete_drains(|_| true, |_| true, |_| false, |_| 1);
+        assert_eq!(c.states[0], GateState::Active, "the arrival aborted node 0's power-down");
+        assert_eq!(c.gated_count(), 3, "the untouched routers gate normally");
+        let (gated, sleeps, wakes) = c.drain_router_window(0, 5);
+        assert_eq!((gated, sleeps, wakes), (0, 0, 0));
+    }
+}

@@ -45,6 +45,7 @@
 //! | [`flit`] | flits, packets and their identifiers | 40-byte `Copy` [`Flit`]; serde gated behind `flit-serde` |
 //! | [`topology`] | 2D mesh / torus geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
 //! | [`region`] | voltage-frequency island partitions ([`RegionMap`]) | resolved once; per-island node bitmasks gate the sparse worklists |
+//! | [`gating`] | router power gating: sleep/wakeup state machines ([`GatingConfig`]) | event-driven timers; fenced routers cost nothing per cycle |
 //! | [`routing`] | dimension-ordered (XY/YX) routing, torus datelines | invoked once per head flit, not per flit |
 //! | [`buffer`] | per-VC FIFO buffers | capacity fixed at construction; never reallocates |
 //! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
@@ -110,6 +111,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod flit;
+pub mod gating;
 pub mod link;
 pub mod region;
 pub mod router;
@@ -127,6 +129,7 @@ pub use clock::DualClock;
 pub use config::{NetworkConfig, NetworkConfigBuilder};
 pub use error::ConfigError;
 pub use flit::{Flit, FlitKind, PacketId};
+pub use gating::{GateState, GatingConfig, PerIslandGating, GATE_NEVER};
 pub use region::{RegionLayout, RegionMap, RegionScheme};
 pub use routing::{RoutingAlgorithm, XyRouting, YxRouting};
 pub use sim::{NocSimulation, WindowMeasurement};

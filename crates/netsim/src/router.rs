@@ -100,14 +100,21 @@ pub struct TraversalOutput {
     pub credits: Vec<CreditReturn>,
     /// Flits delivered to the local node.
     pub ejected: Vec<Flit>,
+    /// Output ports with at least one buffered flit that
+    /// [`sa_st_stage_fenced`](Router::sa_st_stage_fenced) held back because
+    /// the port was fenced (its downstream router is power-gated or waking).
+    /// The driver raises a wakeup request towards each such neighbour.
+    pub fenced_ports: u8,
 }
 
 impl TraversalOutput {
-    /// Empties all three lists, retaining their capacity for reuse.
+    /// Empties all three lists (retaining their capacity for reuse) and
+    /// clears the fenced-port mask.
     pub fn clear(&mut self) {
         self.outgoing.clear();
         self.credits.clear();
         self.ejected.clear();
+        self.fenced_ports = 0;
     }
 
     /// Whether the step produced nothing.
@@ -447,6 +454,17 @@ impl Router {
     /// across routers/cycles (see the type-level scratch-buffer contract on
     /// [`Router`]); the caller clears it, typically once per cycle.
     pub fn sa_st_stage(&mut self, out: &mut TraversalOutput) {
+        self.sa_st_stage_fenced(out, 0);
+    }
+
+    /// [`sa_st_stage`](Self::sa_st_stage) with a power-gating fence: output
+    /// ports whose bit is set in `fence` belong to a gated (or still waking)
+    /// downstream router. A ready flit towards a fenced port stays buffered
+    /// — exactly as if the output had no credit, so the arbiter state
+    /// evolves identically to a credit stall — and the port is recorded in
+    /// [`TraversalOutput::fenced_ports`] so the driver can raise a wakeup
+    /// request. With `fence == 0` this is byte-for-byte the unfenced stage.
+    pub fn sa_st_stage_fenced(&mut self, out: &mut TraversalOutput, fence: u8) {
         if self.buffered == 0 {
             return;
         }
@@ -462,6 +480,10 @@ impl Router {
                     continue;
                 }
                 let out_port = input.out_port.expect("active VC has a route") as usize;
+                if fence & (1u8 << out_port) != 0 {
+                    out.fenced_ports |= 1u8 << out_port;
+                    continue;
+                }
                 let out_vc = input.out_vc.expect("active VC has an output VC") as usize;
                 let has_credit = out_port == LOCAL_PORT
                     || self.outputs[out_port * self.vcs + out_vc].credits > 0;
@@ -751,6 +773,38 @@ mod tests {
         let window = router.take_activity();
         assert!(window.total_events() > 0);
         assert!(router.activity().is_idle(), "taking the window resets the counters");
+    }
+
+    #[test]
+    fn fenced_port_holds_flits_and_reports_the_demand() {
+        let cfg = small_config();
+        let mesh = Mesh2d::new(3, 3);
+        let routing = XyRouting::new();
+        let mut router = Router::new(4, &cfg);
+        for f in packet(1, 4, 5, 3) {
+            router.accept_flit(LOCAL_PORT, f);
+        }
+        let east = Direction::East.index();
+        // Fence the east port: nothing may leave, but the blocked demand is
+        // reported so the driver can wake the sleeping neighbour.
+        let mut out = TraversalOutput::default();
+        for _ in 0..5 {
+            out.clear();
+            router.rc_stage(&mesh, &routing);
+            router.va_stage();
+            router.sa_st_stage_fenced(&mut out, 1u8 << east);
+            assert!(out.outgoing.is_empty(), "fenced port must not emit flits");
+        }
+        assert_eq!(out.fenced_ports, 1u8 << east);
+        assert_eq!(router.buffered_flits(), 3, "flits wait behind the fence");
+        // Dropping the fence releases the traffic unchanged.
+        let mut sent = Vec::new();
+        for _ in 0..10 {
+            let o = step(&mut router, &mesh, &routing);
+            sent.extend(o.outgoing);
+        }
+        assert_eq!(sent.len(), 3);
+        assert!(sent.iter().all(|s| s.out_port == east));
     }
 
     #[test]

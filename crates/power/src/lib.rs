@@ -47,10 +47,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gating;
 pub mod model;
 pub mod report;
 pub mod tech;
 
+pub use gating::{GatingResidency, IslandGatingStats, RouterGatingStats};
 pub use model::{PowerParams, RouterPowerModel};
 pub use report::{FrequencyResidency, PowerReport, ResidencyLevel, RESIDENCY_BIN_HZ};
 pub use tech::{FdsoiTech, OperatingPoint, Volts};

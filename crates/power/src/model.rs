@@ -51,6 +51,15 @@ pub struct PowerParams {
     pub nominal_frequency_hz: f64,
     /// Exponent of the leakage-vs-voltage dependence.
     pub leakage_voltage_exponent: f64,
+    /// Fraction of the active leakage a **power-gated** router still burns
+    /// (retention cells, always-on wakeup logic, sleep-transistor leakage).
+    pub gated_leakage_fraction: f64,
+    /// Energy of one sleep (power-down) transition at the nominal voltage,
+    /// picojoules (drain/isolation sequencing, state retention).
+    pub sleep_transition_pj: f64,
+    /// Energy of one wake (power-up) transition at the nominal voltage,
+    /// picojoules (virtual-rail recharge — the dominant transition cost).
+    pub wake_transition_pj: f64,
 }
 
 impl PowerParams {
@@ -69,6 +78,9 @@ impl PowerParams {
             nominal_vdd: 0.90,
             nominal_frequency_hz: 1.0e9,
             leakage_voltage_exponent: 3.0,
+            gated_leakage_fraction: 0.08,
+            sleep_transition_pj: 20.0,
+            wake_transition_pj: 40.0,
         }
     }
 }
@@ -138,6 +150,15 @@ impl RouterPowerModel {
     /// Energy consumed by one router over an interval of `duration_ps`
     /// picoseconds during which it ran at (`frequency`, `vdd`) and produced
     /// `activity`.
+    ///
+    /// Power gating enters through the activity record: the fraction
+    /// `gated_cycles / cycles` of the interval contributes no clock-tree
+    /// energy and only [`PowerParams::gated_leakage_fraction`] of the
+    /// leakage, while every sleep/wake transition costs its
+    /// [`PowerParams::sleep_transition_pj`] /
+    /// [`PowerParams::wake_transition_pj`] (voltage-scaled like any
+    /// switching event). With no gated residency and no transitions the
+    /// result is bit-identical to the ungated model.
     pub fn router_energy(
         &self,
         activity: &RouterActivity,
@@ -159,15 +180,73 @@ impl RouterPowerModel {
             + activity.link_flits as f64 * p.link_pj
             + activity.ejected_flits as f64 * p.eject_pj;
 
+        // Split the interval into powered and gated time by the activity
+        // record's cycle counters. The `gated_ns == 0` path keeps
+        // `active_ns == duration_ns` exactly (and adds exact zeros below),
+        // so an ungated record prices bit-identically to the historical
+        // model — pinned by the golden-figure tests.
+        let (active_ns, gated_ns) = if activity.gated_cycles > 0 && activity.cycles > 0 {
+            let gated_ns =
+                duration_ns * (activity.gated_cycles as f64 / activity.cycles as f64);
+            (duration_ns - gated_ns, gated_ns)
+        } else {
+            (duration_ns, 0.0)
+        };
+
         // Clock-tree power scales with f·V²; expressed as energy over the
-        // interval (mW · ns = pJ).
+        // powered part of the interval (mW · ns = pJ) — the clock is off
+        // while the router is gated.
         let f_ratio = frequency.as_hz() / p.nominal_frequency_hz;
-        let clock_pj = p.clock_tree_mw * f_ratio * v2 * duration_ns;
+        let clock_pj = p.clock_tree_mw * f_ratio * v2 * active_ns;
 
-        let leak_pj =
-            p.leakage_mw * v_ratio.powf(p.leakage_voltage_exponent) * duration_ns;
+        let leak_pj = p.leakage_mw
+            * v_ratio.powf(p.leakage_voltage_exponent)
+            * (active_ns + gated_ns * p.gated_leakage_fraction);
 
-        EnergyBreakdown { dynamic_pj: event_pj * v2 + clock_pj, static_pj: leak_pj }
+        let transition_pj = activity.sleep_events as f64 * p.sleep_transition_pj
+            + activity.wake_events as f64 * p.wake_transition_pj;
+
+        EnergyBreakdown {
+            dynamic_pj: event_pj * v2 + clock_pj + transition_pj * v2,
+            static_pj: leak_pj,
+        }
+    }
+
+    /// Power saved while one router is gated at (`frequency`, `vdd`),
+    /// milliwatts: the clock-tree power plus the non-retained share of the
+    /// leakage.
+    pub fn gated_saving_mw(&self, frequency: Hertz, vdd: Volts) -> f64 {
+        let p = &self.params;
+        let v_ratio = vdd.as_volts() / p.nominal_vdd;
+        let v2 = v_ratio * v_ratio;
+        let f_ratio = frequency.as_hz() / p.nominal_frequency_hz;
+        p.clock_tree_mw * f_ratio * v2
+            + p.leakage_mw
+                * v_ratio.powf(p.leakage_voltage_exponent)
+                * (1.0 - p.gated_leakage_fraction)
+    }
+
+    /// Energy of `sleep_events` power-downs plus `wake_events` power-ups at
+    /// `vdd`, picojoules.
+    pub fn transition_energy_pj(&self, sleep_events: u64, wake_events: u64, vdd: Volts) -> f64 {
+        let p = &self.params;
+        let v_ratio = vdd.as_volts() / p.nominal_vdd;
+        (sleep_events as f64 * p.sleep_transition_pj + wake_events as f64 * p.wake_transition_pj)
+            * (v_ratio * v_ratio)
+    }
+
+    /// The gating **break-even time** at (`frequency`, `vdd`), picoseconds:
+    /// how long a router must stay gated for the clock + leakage saving to
+    /// repay one full sleep + wake transition pair. A gating policy should
+    /// only power a router down when it expects the idle period to exceed
+    /// this (the classic timeout policy *waits* this long before sleeping,
+    /// which is 2-competitive with the offline optimum).
+    pub fn break_even_ps(&self, frequency: Hertz, vdd: Volts) -> f64 {
+        let saved_mw = self.gated_saving_mw(frequency, vdd);
+        if saved_mw <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.transition_energy_pj(1, 1, vdd) / saved_mw * 1.0e3
     }
 
     /// Average power (milliwatts) of one router over the interval.
@@ -306,6 +385,7 @@ mod tests {
             link_flits: flits,
             ejected_flits: 0,
             cycles,
+            ..RouterActivity::new()
         }
     }
 
@@ -478,6 +558,93 @@ mod tests {
         let f_lo = Hertz::from_mhz(333.0);
         let lo = model.network_power(&net, f_lo, tech.vdd_for_frequency(f_lo), 1.0e7);
         assert!(hi.total_mw() / lo.total_mw() > 2.0);
+    }
+
+    #[test]
+    fn gated_residency_cuts_clock_and_leakage_energy() {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let vdd = Volts::new(0.9);
+        let duration_ps = 1.0e7; // 10 µs
+        let idle = RouterActivity { cycles: 10_000, ..RouterActivity::new() };
+        let gated = RouterActivity { cycles: 10_000, gated_cycles: 10_000, ..RouterActivity::new() };
+        let e_idle = model.router_energy(&idle, f, vdd, duration_ps);
+        let e_gated = model.router_energy(&gated, f, vdd, duration_ps);
+        // Fully gated: no clock-tree energy, only retained leakage.
+        assert_eq!(e_gated.dynamic_pj, 0.0);
+        let frac = model.params().gated_leakage_fraction;
+        assert!((e_gated.static_pj / e_idle.static_pj - frac).abs() < 1e-12);
+        // Half gated sits strictly between.
+        let half = RouterActivity { cycles: 10_000, gated_cycles: 5_000, ..RouterActivity::new() };
+        let e_half = model.router_energy(&half, f, vdd, duration_ps);
+        assert!(e_half.total_pj() < e_idle.total_pj());
+        assert!(e_half.total_pj() > e_gated.total_pj());
+    }
+
+    #[test]
+    fn transition_events_cost_voltage_scaled_energy() {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let act = RouterActivity { cycles: 1_000, sleep_events: 3, wake_events: 2, ..RouterActivity::new() };
+        let base = RouterActivity { cycles: 1_000, ..RouterActivity::new() };
+        let vdd = Volts::new(0.9);
+        let delta = model.router_energy(&act, f, vdd, 1.0e6).dynamic_pj
+            - model.router_energy(&base, f, vdd, 1.0e6).dynamic_pj;
+        let p = model.params();
+        assert!((delta - (3.0 * p.sleep_transition_pj + 2.0 * p.wake_transition_pj)).abs() < 1e-9);
+        assert!((delta - model.transition_energy_pj(3, 2, vdd)).abs() < 1e-9);
+        // At half the voltage the transition energy quarters.
+        let low = model.transition_energy_pj(3, 2, Volts::new(0.45));
+        assert!((low / model.transition_energy_pj(3, 2, vdd) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ungated_records_price_bit_identically_to_the_historical_model() {
+        // The gating-aware energy path must collapse to the exact historical
+        // arithmetic when no gating fields are set: same products, same
+        // association, exact zero additions.
+        let model = RouterPowerModel::new();
+        let act = busy_activity(10_000, 1_234);
+        let f = Hertz::from_mhz(700.0);
+        let vdd = Volts::new(0.75);
+        let duration_ps = 5.0e6;
+        let e = model.router_energy(&act, f, vdd, duration_ps);
+        let p = model.params();
+        let v_ratio = vdd.as_volts() / p.nominal_vdd;
+        let v2 = v_ratio * v_ratio;
+        let duration_ns = duration_ps / 1.0e3;
+        let event_pj = act.buffer_writes as f64 * p.buffer_write_pj
+            + act.buffer_reads as f64 * p.buffer_read_pj
+            + act.crossbar_traversals as f64 * p.crossbar_pj
+            + act.vc_allocations as f64 * p.vc_alloc_pj
+            + act.switch_allocations as f64 * p.sw_alloc_pj
+            + act.link_flits as f64 * p.link_pj
+            + act.ejected_flits as f64 * p.eject_pj;
+        let f_ratio = f.as_hz() / p.nominal_frequency_hz;
+        let clock_pj = p.clock_tree_mw * f_ratio * v2 * duration_ns;
+        let leak_pj = p.leakage_mw * v_ratio.powf(p.leakage_voltage_exponent) * duration_ns;
+        assert_eq!(e.dynamic_pj.to_bits(), (event_pj * v2 + clock_pj).to_bits());
+        assert_eq!(e.static_pj.to_bits(), leak_pj.to_bits());
+    }
+
+    #[test]
+    fn break_even_time_repays_one_transition_pair() {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let vdd = Volts::new(0.9);
+        let be_ps = model.break_even_ps(f, vdd);
+        assert!(be_ps > 0.0 && be_ps.is_finite());
+        // Staying gated exactly the break-even time saves exactly the
+        // transition energy.
+        let saved = model.gated_saving_mw(f, vdd) * (be_ps / 1.0e3);
+        assert!((saved - model.transition_energy_pj(1, 1, vdd)).abs() < 1e-9);
+        // At the nominal corner the calibration lands in the tens of
+        // nanoseconds — tens of cycles at 1 GHz, a plausible hardware scale.
+        assert!(be_ps > 5.0e3 && be_ps < 2.0e5, "break-even {be_ps} ps out of range");
+        // Slower, lower-voltage corners save less per nanosecond, so the
+        // break-even time stretches.
+        let lo = Hertz::from_mhz(333.0);
+        assert!(model.break_even_ps(lo, Volts::new(0.56)) > be_ps);
     }
 
     #[test]
