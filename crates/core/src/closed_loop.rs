@@ -8,7 +8,7 @@
 //! the measurement phase.
 
 use crate::policy::{ControlMeasurement, PolicyKind};
-use noc_power::{model::EnergyBreakdown, FdsoiTech, RouterPowerModel};
+use noc_power::{model::EnergyBreakdown, DegradedModeReport, FdsoiTech, RouterPowerModel};
 use noc_sim::{Hertz, NetworkConfig, NocSimulation, TrafficSpec};
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +115,14 @@ pub struct OperatingPointResult {
     pub packets_delivered: u64,
     /// Wall-clock duration of the measurement phase, nanoseconds.
     pub measurement_wall_ns: f64,
+    /// Flits dropped by fault-killed components during the measurement
+    /// phase. Always zero unless the configuration injects faults
+    /// ([`NetworkConfig::faults`]).
+    pub flits_dropped: u64,
+    /// Fraction of source–destination pairs still connected at the end of
+    /// the run (1.0 on a fault-free network; see
+    /// [`NocSimulation::reachable_pairs_fraction`]).
+    pub reachability: f64,
 }
 
 impl OperatingPointResult {
@@ -128,6 +136,26 @@ impl OperatingPointResult {
         let flits = self.throughput.max(f64::MIN_POSITIVE); // flits/cycle/node
         let _ = flits;
         energy_pj / (self.packets_delivered as f64)
+    }
+}
+
+/// Summarises a faulted operating point against its fault-free reference
+/// (same workload, load and seed, faults disabled) as a
+/// [`DegradedModeReport`]: reachability of the surviving network, delivered
+/// and dropped counts, latency inflation from detours, and the energy excess
+/// attributable to rerouting.
+pub fn degraded_mode_report(
+    faulted: &OperatingPointResult,
+    fault_free: &OperatingPointResult,
+) -> DegradedModeReport {
+    DegradedModeReport {
+        reachability: faulted.reachability,
+        packets_delivered: faulted.packets_delivered,
+        flits_dropped: faulted.flits_dropped,
+        avg_latency_cycles: faulted.avg_latency_cycles,
+        fault_free_latency_cycles: fault_free.avg_latency_cycles,
+        energy_per_flit_pj: faulted.energy_per_flit_pj(),
+        fault_free_energy_per_flit_pj: fault_free.energy_per_flit_pj(),
     }
 }
 
@@ -234,6 +262,7 @@ pub fn run_operating_point(
     let mut total_wall_ps = 0.0;
     let mut flits_generated = 0u64;
     let mut flits_ejected = 0u64;
+    let mut flits_dropped = 0u64;
     let mut node_cycles = 0u64;
     let mut noc_cycles = 0u64;
 
@@ -250,6 +279,7 @@ pub fn run_operating_point(
         total_wall_ps += window.wall_time_ps;
         flits_generated += window.flits_generated;
         flits_ejected += window.flits_ejected;
+        flits_dropped += window.flits_dropped;
         node_cycles += window.node_cycles;
         noc_cycles += window.noc_cycles;
 
@@ -295,6 +325,8 @@ pub fn run_operating_point(
         throughput,
         packets_delivered: stats.packets,
         measurement_wall_ns: total_wall_ns,
+        flits_dropped,
+        reachability: sim.reachable_pairs_fraction(),
     }
 }
 

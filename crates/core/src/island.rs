@@ -263,6 +263,7 @@ pub(crate) fn run_islands_loop(
     let mut total_wall_ps = 0.0;
     let mut flits_generated = 0u64;
     let mut flits_ejected = 0u64;
+    let mut flits_dropped = 0u64;
     let mut node_cycles = 0u64;
     let mut noc_cycles = 0u64;
     let mut island_rate_flits = vec![0u64; island_count];
@@ -303,6 +304,7 @@ pub(crate) fn run_islands_loop(
         total_wall_ps += window.wall_time_ps;
         flits_generated += window.flits_generated;
         flits_ejected += window.flits_ejected;
+        flits_dropped += window.flits_dropped;
         node_cycles += window.node_cycles;
         noc_cycles += window.noc_cycles;
 
@@ -344,6 +346,8 @@ pub(crate) fn run_islands_loop(
         throughput,
         packets_delivered: stats.packets,
         measurement_wall_ns: total_wall_ns,
+        flits_dropped,
+        reachability: sim.reachable_pairs_fraction(),
     };
 
     let islands = (0..island_count)

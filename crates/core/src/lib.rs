@@ -68,7 +68,9 @@ pub mod scenario;
 pub mod summary;
 pub mod sweep;
 
-pub use closed_loop::{run_operating_point, ClosedLoopConfig, OperatingPointResult};
+pub use closed_loop::{
+    degraded_mode_report, run_operating_point, ClosedLoopConfig, OperatingPointResult,
+};
 pub use dmsd::{Dmsd, DmsdConfig};
 pub use gating::{
     run_operating_point_gated, BreakEvenConfig, CombinedController, GatedOperatingPointResult,
@@ -82,9 +84,9 @@ pub use policy::{ControlMeasurement, DvfsPolicy, NoDvfs, PolicyKind};
 pub use rmsd::{Rmsd, RmsdConfig};
 pub use saturation::find_saturation_rate;
 pub use scenario::{
-    compare_policies_scenario, scenario_grid, scenario_grid_gated, scenario_grid_islands,
-    sweep_scenario_gated, sweep_scenario_grid, sweep_scenario_islands, GatedSweepPoint,
-    InjectionProcess, IslandSweepPoint, Scenario,
+    compare_policies_scenario, scenario_grid, scenario_grid_faulted, scenario_grid_gated,
+    scenario_grid_islands, sweep_scenario_gated, sweep_scenario_grid, sweep_scenario_islands,
+    FaultProfile, GatedSweepPoint, InjectionProcess, IslandSweepPoint, Scenario,
 };
 pub use summary::TradeOffSummary;
 pub use sweep::{PolicyCurve, SweepPoint};

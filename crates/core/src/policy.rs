@@ -133,6 +133,7 @@ mod tests {
                 flits_ejected: packets * 20,
                 latency_cycles_sum: packets * 50,
                 delay_ps_sum: delay_ns * 1e3 * packets as f64,
+                flits_dropped: 0,
             },
             node_count,
             current_frequency: f,

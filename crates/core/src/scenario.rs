@@ -24,7 +24,8 @@ use crate::policy::PolicyKind;
 use crate::saturation::find_saturation_load;
 use crate::sweep::{load_grid, sweep_policies, sweep_policies_serial, PolicyCurve, SweepPoint};
 use noc_sim::{
-    BurstyTraffic, ConfigError, NetworkConfig, RegionLayout, SyntheticTraffic, TopologyKind,
+    BurstyTraffic, ConfigError, Direction, FaultConfig, FaultEvent, FaultTarget, HazardConfig,
+    NetworkConfig, RegionLayout, RoutingKind, SyntheticTraffic, Topology, TopologyKind,
     TrafficPattern, TrafficSpec,
 };
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,88 @@ pub struct Scenario {
     /// sweeps then dispatch through
     /// [`run_operating_point_gated`]).
     pub gating: Option<GatingPolicyKind>,
+    /// Routing-algorithm axis: dimension-ordered XY (the historical
+    /// default), YX, or minimal-adaptive escape-VC routing (set via
+    /// [`routed`](Scenario::routed)).
+    pub routing: RoutingKind,
+    /// Fault-injection axis: `None` (the historical fault-free setting) or
+    /// a deterministic [`FaultProfile`] materialised into the network's
+    /// [`FaultConfig`] by [`network`](Scenario::network) (set via
+    /// [`faulted`](Scenario::faulted)).
+    pub faults: Option<FaultProfile>,
+}
+
+/// A compact, `Copy` description of a fault workload that a [`Scenario`]
+/// can carry (the full [`FaultConfig`] owns a schedule `Vec` and so cannot
+/// live in the `Copy` scenario struct). [`Scenario::network`] expands the
+/// profile deterministically for the scenario's topology and dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultProfile {
+    /// `count` permanent link failures injected at cycle `at_cycle`, spread
+    /// evenly over the topology's canonical East/South link list — the same
+    /// links on every run, so labels and goldens are stable.
+    PermanentLinks {
+        /// Number of links to kill (clamped to the links available).
+        count: usize,
+        /// Injection cycle of every failure.
+        at_cycle: u64,
+    },
+    /// A hazard-driven storm of transient faults: independent per-cycle
+    /// failure draws at the given rates, every fault recovering after
+    /// `duration` cycles.
+    TransientStorm {
+        /// Per-link failure probability per cycle, parts per million.
+        link_ppm: u32,
+        /// Per-router failure probability per cycle, parts per million.
+        router_ppm: u32,
+        /// Downtime of each transient fault, cycles.
+        duration: u64,
+    },
+}
+
+impl FaultProfile {
+    /// A short label component, e.g. `"perm-links2"` or
+    /// `"storm-l20r10d150"`.
+    pub fn name(&self) -> String {
+        match *self {
+            FaultProfile::PermanentLinks { count, at_cycle: 0 } => format!("perm-links{count}"),
+            FaultProfile::PermanentLinks { count, at_cycle } => {
+                format!("perm-links{count}-at{at_cycle}")
+            }
+            FaultProfile::TransientStorm { link_ppm, router_ppm, duration } => {
+                format!("storm-l{link_ppm}r{router_ppm}d{duration}")
+            }
+        }
+    }
+
+    /// Expands the profile into a concrete [`FaultConfig`] for `topo`.
+    pub fn fault_config(&self, topo: &Topology) -> FaultConfig {
+        match *self {
+            FaultProfile::PermanentLinks { count, at_cycle } => {
+                let mut links = Vec::new();
+                for node in 0..topo.node_count() {
+                    for dir in [Direction::East, Direction::South] {
+                        if topo.neighbor(node, dir).is_some() {
+                            links.push(FaultTarget::Link { node, dir });
+                        }
+                    }
+                }
+                let picks = count.min(links.len());
+                let schedule = (0..picks)
+                    .map(|i| FaultEvent::permanent(links[i * links.len() / picks.max(1)], at_cycle))
+                    .collect();
+                FaultConfig::scheduled(schedule)
+            }
+            FaultProfile::TransientStorm { link_ppm, router_ppm, duration } => {
+                FaultConfig::none().with_hazard(HazardConfig {
+                    link_rate: f64::from(link_ppm) * 1e-6,
+                    router_rate: f64::from(router_ppm) * 1e-6,
+                    transient_fraction: 1.0,
+                    transient_duration: duration,
+                })
+            }
+        }
+    }
 }
 
 impl Scenario {
@@ -91,6 +174,8 @@ impl Scenario {
             injection: InjectionProcess::Bernoulli,
             regions: RegionLayout::Whole,
             gating: None,
+            routing: RoutingKind::Xy,
+            faults: None,
         }
     }
 
@@ -109,10 +194,21 @@ impl Scenario {
         Scenario { gating: Some(gating), ..self }
     }
 
+    /// The same scenario under the given routing algorithm.
+    pub fn routed(self, routing: RoutingKind) -> Self {
+        Scenario { routing, ..self }
+    }
+
+    /// The same scenario with the given fault profile injected.
+    pub fn faulted(self, faults: FaultProfile) -> Self {
+        Scenario { faults: Some(faults), ..self }
+    }
+
     /// A `topology/pattern/process` label for figures and reports, e.g.
-    /// `"torus/hotspot/bursty"`; multi-island scenarios append the layout
-    /// (`"torus/hotspot/bursty/quadrants"`) and gated scenarios the gating
-    /// policy (`"mesh/uniform/bernoulli/break-even"`).
+    /// `"torus/hotspot/bursty"`. Non-default axes append fixed-order
+    /// suffixes — layout, gating policy, routing (when not XY), fault
+    /// profile — so every distinct scenario names a distinct sweep result:
+    /// `"mesh/uniform/bernoulli/quadrants/imm-sleep/adaptive/perm-links2"`.
     pub fn label(&self) -> String {
         let mut label =
             format!("{}/{}/{}", self.topology.name(), self.pattern.name(), self.injection.name());
@@ -121,6 +217,12 @@ impl Scenario {
         }
         if let Some(gating) = self.gating {
             label = format!("{label}/{}", gating.name());
+        }
+        if self.routing != RoutingKind::Xy {
+            label = format!("{label}/{}", self.routing.name());
+        }
+        if let Some(faults) = self.faults {
+            label = format!("{label}/{}", faults.name());
         }
         label
     }
@@ -132,9 +234,19 @@ impl Scenario {
     /// # Errors
     ///
     /// Propagates [`ConfigError`]s: torus needing ≥2 VCs, transpose needing a
-    /// square grid, bit permutations needing a power-of-two node count.
+    /// square grid, bit permutations needing a power-of-two node count,
+    /// adaptive routing needing ≥2 VCs for its escape class.
     pub fn network(&self, base: &NetworkConfig) -> Result<NetworkConfig, ConfigError> {
-        let net = base.to_builder().topology(self.topology).regions(self.regions).build()?;
+        let mut builder = base
+            .to_builder()
+            .topology(self.topology)
+            .regions(self.regions)
+            .routing(self.routing);
+        if let Some(profile) = self.faults {
+            let topo = Topology::with_kind(self.topology, base.width(), base.height());
+            builder = builder.faults(profile.fault_config(&topo));
+        }
+        let net = builder.build()?;
         net.validate_pattern(self.pattern)?;
         Ok(net)
     }
@@ -452,6 +564,33 @@ pub fn scenario_grid_gated(
                 None => s,
             })
         })
+        .collect()
+}
+
+/// [`scenario_grid`] crossed with fault profiles under the given routing
+/// algorithm: every valid `topology × pattern × injection` combination is
+/// instantiated once per entry of `profiles` (`None` keeps the fault-free
+/// scenario in the grid). Combinations the routing algorithm rejects (e.g.
+/// minimal-adaptive on a 1-VC base, which has no escape class) are filtered
+/// out, mirroring [`scenario_grid`]'s treatment of invalid patterns.
+pub fn scenario_grid_faulted(
+    base: &NetworkConfig,
+    include_bursty: bool,
+    routing: RoutingKind,
+    profiles: &[Option<FaultProfile>],
+) -> Vec<Scenario> {
+    scenario_grid(base, include_bursty)
+        .into_iter()
+        .flat_map(|s| {
+            profiles.iter().map(move |&p| {
+                let s = s.routed(routing);
+                match p {
+                    Some(profile) => s.faulted(profile),
+                    None => s,
+                }
+            })
+        })
+        .filter(|s| s.network(base).is_ok())
         .collect()
 }
 
@@ -777,6 +916,88 @@ mod tests {
             &ClosedLoopConfig::quick(),
             1,
         );
+    }
+
+    #[test]
+    fn faulted_labels_and_grid_compose() {
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .routed(RoutingKind::MinimalAdaptive)
+            .faulted(FaultProfile::PermanentLinks { count: 2, at_cycle: 0 });
+        assert_eq!(s.label(), "mesh/uniform/bernoulli/adaptive/perm-links2");
+        // Every axis at once: layout, gating, routing, fault — fixed order.
+        let s = Scenario::new(TopologyKind::Torus, TrafficPattern::Hotspot)
+            .bursty()
+            .islands(RegionLayout::Quadrants)
+            .gated(crate::gating::GatingPolicyKind::ImmediateSleep)
+            .routed(RoutingKind::MinimalAdaptive)
+            .faulted(FaultProfile::TransientStorm { link_ppm: 20, router_ppm: 10, duration: 150 });
+        assert_eq!(
+            s.label(),
+            "torus/hotspot/bursty/quadrants/imm-sleep/adaptive/storm-l20r10d150"
+        );
+        // XY routing never appends a suffix; the fault suffix still does.
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .faulted(FaultProfile::PermanentLinks { count: 1, at_cycle: 500 });
+        assert_eq!(s.label(), "mesh/uniform/bernoulli/perm-links1-at500");
+        let base = small_base();
+        let grid = scenario_grid_faulted(
+            &base,
+            false,
+            RoutingKind::MinimalAdaptive,
+            &[None, Some(FaultProfile::PermanentLinks { count: 2, at_cycle: 0 })],
+        );
+        assert_eq!(grid.len(), 2 * scenario_grid(&base, false).len());
+        // A 1-VC base has no escape class: adaptive scenarios filter out.
+        let one_vc = NetworkConfig::builder().mesh(4, 4).virtual_channels(1).build().unwrap();
+        let grid1 =
+            scenario_grid_faulted(&one_vc, false, RoutingKind::MinimalAdaptive, &[None]);
+        assert!(grid1.is_empty());
+    }
+
+    #[test]
+    fn faulted_scenario_network_embeds_routing_and_faults() {
+        let base = small_base();
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .routed(RoutingKind::MinimalAdaptive)
+            .faulted(FaultProfile::PermanentLinks { count: 3, at_cycle: 0 });
+        let net = s.network(&base).unwrap();
+        assert_eq!(net.routing(), RoutingKind::MinimalAdaptive);
+        assert!(net.faults().is_enabled());
+        assert_eq!(net.faults().schedule().len(), 3);
+        // The profile expands the same way every time (stable labels ⇒
+        // stable goldens).
+        let again = s.network(&base).unwrap();
+        assert_eq!(net.faults().schedule(), again.faults().schedule());
+    }
+
+    #[test]
+    fn faulted_scenario_sweep_parity_and_degraded_mode_report() {
+        let base = small_base();
+        let scenario = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+            .routed(RoutingKind::MinimalAdaptive)
+            .faulted(FaultProfile::PermanentLinks { count: 2, at_cycle: 0 });
+        let net = scenario.network(&base).unwrap();
+        let loads = [0.05];
+        let policies = vec![PolicyKind::NoDvfs];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let parallel = sweep_scenario(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        let serial = sweep_scenario_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(parallel, serial);
+        let faulted = &parallel[0].points[0].result;
+        assert!(faulted.packets_delivered > 0, "adaptive routing must survive 2 dead links");
+        // The fault-free reference of the same workload.
+        let reference =
+            Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform)
+                .routed(RoutingKind::MinimalAdaptive);
+        let ref_net = reference.network(&base).unwrap();
+        let plain = sweep_scenario(&ref_net, reference, &loads, &policies, &loop_cfg, 2015);
+        let fault_free = &plain[0].points[0].result;
+        assert_eq!(fault_free.reachability, 1.0);
+        assert_eq!(fault_free.flits_dropped, 0);
+        let report = crate::closed_loop::degraded_mode_report(faulted, fault_free);
+        assert_eq!(report.packets_delivered, faulted.packets_delivered);
+        assert!(report.latency_inflation() > 0.0);
+        assert!(report.rerouting_energy_pj() >= 0.0);
     }
 
     #[test]

@@ -102,6 +102,8 @@ mod tests {
                 throughput: load,
                 packets_delivered: 1000,
                 measurement_wall_ns: 1e6,
+                flits_dropped: 0,
+                reachability: 1.0,
             },
         }
     }

@@ -287,6 +287,8 @@ mod tests {
                 throughput: load,
                 packets_delivered: 1,
                 measurement_wall_ns: 1.0,
+                flits_dropped: 0,
+                reachability: 1.0,
             },
         };
         let curve = PolicyCurve {

@@ -6,8 +6,10 @@
 //! frequency range of the NoC clock and the fixed node-clock frequency.
 
 use crate::error::ConfigError;
+use crate::fault::FaultConfig;
 use crate::gating::GatingConfig;
 use crate::region::{RegionMap, RegionScheme};
+use crate::routing::RoutingKind;
 use crate::topology::{Topology, TopologyKind};
 use crate::traffic::{SyntheticTraffic, TrafficPattern};
 use crate::units::Hertz;
@@ -58,6 +60,8 @@ pub struct NetworkConfig {
     max_frequency_hz: f64,
     regions: RegionScheme,
     gating: GatingConfig,
+    routing: RoutingKind,
+    faults: FaultConfig,
 }
 
 impl NetworkConfig {
@@ -166,6 +170,17 @@ impl NetworkConfig {
         &self.gating
     }
 
+    /// The routing algorithm (dimension-ordered XY by default).
+    pub fn routing(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// The fault-injection configuration (no faults by default, in which
+    /// case the fault machinery is a structural no-op in the simulator).
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
     /// The resolved `node → island` partition described by
     /// [`regions`](Self::regions).
     ///
@@ -198,6 +213,8 @@ impl NetworkConfig {
             max_frequency_hz: self.max_frequency_hz,
             regions: self.regions.clone(),
             gating: self.gating.clone(),
+            routing: self.routing,
+            faults: self.faults.clone(),
         }
     }
 
@@ -239,6 +256,8 @@ pub struct NetworkConfigBuilder {
     max_frequency_hz: f64,
     regions: RegionScheme,
     gating: GatingConfig,
+    routing: RoutingKind,
+    faults: FaultConfig,
 }
 
 impl NetworkConfigBuilder {
@@ -258,6 +277,8 @@ impl NetworkConfigBuilder {
             max_frequency_hz: DEFAULT_MAX_FREQUENCY_HZ,
             regions: RegionScheme::default(),
             gating: GatingConfig::disabled(),
+            routing: RoutingKind::default(),
+            faults: FaultConfig::none(),
         }
     }
 
@@ -353,6 +374,22 @@ impl NetworkConfigBuilder {
         self
     }
 
+    /// Sets the routing algorithm (default: [`RoutingKind::Xy`]).
+    /// [`RoutingKind::MinimalAdaptive`] requires at least two virtual
+    /// channels, checked by [`build`](Self::build).
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the fault-injection configuration (default:
+    /// [`FaultConfig::none`]). Scheduled targets and hazard rates are
+    /// validated against the topology by [`build`](Self::build).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     ///
     /// # Errors
@@ -378,6 +415,12 @@ impl NetworkConfigBuilder {
                 virtual_channels: self.virtual_channels,
             });
         }
+        if self.routing == RoutingKind::MinimalAdaptive && self.virtual_channels < 2 {
+            return Err(ConfigError::AdaptiveNeedsVcClasses {
+                virtual_channels: self.virtual_channels,
+            });
+        }
+        self.faults.validate(&Topology::with_kind(self.topology, self.width, self.height))?;
         if self.min_frequency_hz > self.max_frequency_hz {
             return Err(ConfigError::InvalidFrequencyRange {
                 min_hz: self.min_frequency_hz,
@@ -402,6 +445,8 @@ impl NetworkConfigBuilder {
             max_frequency_hz: self.max_frequency_hz,
             regions: self.regions,
             gating: self.gating,
+            routing: self.routing,
+            faults: self.faults,
         })
     }
 }
@@ -656,6 +701,69 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(ok.gating().overrides().len(), 1);
+    }
+
+    #[test]
+    fn routing_and_faults_default_to_inert_and_round_trip() {
+        use crate::fault::{FaultConfig, FaultEvent, FaultTarget};
+        use crate::routing::RoutingKind;
+        use crate::topology::Direction;
+        let cfg = NetworkConfig::paper_baseline();
+        assert_eq!(cfg.routing(), RoutingKind::Xy);
+        assert!(!cfg.faults().is_enabled());
+        let cfg = NetworkConfig::builder()
+            .mesh(4, 4)
+            .routing(RoutingKind::MinimalAdaptive)
+            .faults(FaultConfig::scheduled(vec![FaultEvent::permanent(
+                FaultTarget::Link { node: 5, dir: Direction::East },
+                100,
+            )]))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.routing(), RoutingKind::MinimalAdaptive);
+        assert!(cfg.faults().is_enabled());
+        assert_eq!(cfg.to_builder().build().unwrap(), cfg);
+    }
+
+    #[test]
+    fn builder_rejects_adaptive_without_vc_classes() {
+        use crate::routing::RoutingKind;
+        let err = NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(1)
+            .routing(RoutingKind::MinimalAdaptive)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::AdaptiveNeedsVcClasses { virtual_channels: 1 });
+        // Two VCs are enough, and dimension-ordered routing never needs them.
+        assert!(NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .routing(RoutingKind::MinimalAdaptive)
+            .build()
+            .is_ok());
+        assert!(NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(1)
+            .routing(RoutingKind::Yx)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_validates_the_fault_schedule_against_the_topology() {
+        use crate::fault::{FaultConfig, FaultEvent, FaultTarget};
+        use crate::topology::Direction;
+        // Node 3 is the top-right corner of a 4x4 mesh: no East link.
+        let faults = FaultConfig::scheduled(vec![FaultEvent::permanent(
+            FaultTarget::Link { node: 3, dir: Direction::East },
+            0,
+        )]);
+        let err =
+            NetworkConfig::builder().mesh(4, 4).faults(faults.clone()).build().unwrap_err();
+        assert_eq!(err, ConfigError::FaultLinkMissing { node: 3, dir: Direction::East });
+        // The same link exists once the grid wraps around.
+        assert!(NetworkConfig::builder().torus(4, 4).faults(faults).build().is_ok());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error types for the simulator.
 
+use crate::topology::Direction;
 use std::error::Error;
 use std::fmt;
 
@@ -76,6 +77,35 @@ pub enum ConfigError {
         /// Number of islands in the region partition.
         island_count: usize,
     },
+    /// A scheduled fault targets a node beyond the grid.
+    FaultNodeOutOfRange {
+        /// The node named by the fault.
+        node: usize,
+        /// Number of nodes in the grid.
+        nodes: usize,
+    },
+    /// A scheduled link fault names a link the topology does not have
+    /// (a local "link", or an off-grid direction on a mesh).
+    FaultLinkMissing {
+        /// The endpoint named by the fault.
+        node: usize,
+        /// The missing direction.
+        dir: Direction,
+    },
+    /// Transient faults must last at least one cycle.
+    ZeroFaultDuration,
+    /// Hazard probabilities must lie in `[0, 1]`.
+    FaultRateOutOfRange {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// Minimal-adaptive routing needs at least two virtual channels per port
+    /// so that the escape VC class (dimension-ordered, deadlock-free) and
+    /// the adaptive class are disjoint.
+    AdaptiveNeedsVcClasses {
+        /// The requested number of virtual channels.
+        virtual_channels: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -118,6 +148,23 @@ impl fmt::Display for ConfigError {
                 f,
                 "gating override names island {island} but the region partition has only \
                  {island_count} island(s)"
+            ),
+            ConfigError::FaultNodeOutOfRange { node, nodes } => {
+                write!(f, "fault targets node {node} but the grid has only {nodes} nodes")
+            }
+            ConfigError::FaultLinkMissing { node, dir } => {
+                write!(f, "fault targets the {dir} link of node {node}, which does not exist")
+            }
+            ConfigError::ZeroFaultDuration => {
+                write!(f, "transient faults must last at least one cycle")
+            }
+            ConfigError::FaultRateOutOfRange { rate } => {
+                write!(f, "fault hazard rate {rate} is outside [0, 1]")
+            }
+            ConfigError::AdaptiveNeedsVcClasses { virtual_channels } => write!(
+                f,
+                "minimal-adaptive routing needs at least 2 virtual channels for its escape \
+                 class, got {virtual_channels}"
             ),
         }
     }

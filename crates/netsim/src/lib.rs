@@ -46,7 +46,8 @@
 //! | [`topology`] | 2D mesh / torus geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
 //! | [`region`] | voltage-frequency island partitions ([`RegionMap`]) | resolved once; per-island node bitmasks gate the sparse worklists |
 //! | [`gating`] | router power gating: sleep/wakeup state machines ([`GatingConfig`]) | event-driven timers; fenced routers cost nothing per cycle |
-//! | [`routing`] | dimension-ordered (XY/YX) routing, torus datelines | invoked once per head flit, not per flit |
+//! | [`fault`] | deterministic fault injection ([`FaultConfig`]): scheduled/hazard link & router failures | separate RNG stream; cached blocked-port masks; inert when unconfigured |
+//! | [`routing`] | dimension-ordered (XY/YX) + minimal-adaptive escape-VC routing, torus datelines | invoked once per head flit, not per flit |
 //! | [`buffer`] | per-VC FIFO buffers | capacity fixed at construction; never reallocates |
 //! | [`arbiter`] | round-robin arbiters | mask-based grant in two bit operations |
 //! | [`allocator`] | separable input-first allocator | single pass over requests; persistent scratch, zero allocation per round |
@@ -110,6 +111,7 @@ pub mod buffer;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod flit;
 pub mod gating;
 pub mod link;
@@ -128,10 +130,11 @@ pub use activity::{NetworkActivity, RouterActivity};
 pub use clock::DualClock;
 pub use config::{NetworkConfig, NetworkConfigBuilder};
 pub use error::ConfigError;
+pub use fault::{FaultConfig, FaultEvent, FaultState, FaultTarget, FaultTransition, HazardConfig};
 pub use flit::{Flit, FlitKind, PacketId};
 pub use gating::{GateState, GatingConfig, PerIslandGating, GATE_NEVER};
 pub use region::{RegionLayout, RegionMap, RegionScheme};
-pub use routing::{RoutingAlgorithm, XyRouting, YxRouting};
+pub use routing::{MinimalAdaptive, RoutingAlgorithm, RoutingKind, XyRouting, YxRouting};
 pub use sim::{NocSimulation, WindowMeasurement};
 pub use stats::{PacketRecord, SimStats};
 pub use topology::{Direction, Mesh2d, Topology, TopologyKind};

@@ -89,6 +89,16 @@ impl<T> DelayChannel<T> {
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()
     }
+
+    /// Hands *every* in-flight item to `sink` regardless of its delivery
+    /// time, in send order, emptying the channel. Used when a fault kills a
+    /// channel's endpoint: the items cannot be delivered any more and must
+    /// be accounted (dropped flits, discarded credits) instead of lingering.
+    pub fn drain_all<F: FnMut(T)>(&mut self, mut sink: F) {
+        while let Some((_, item)) = self.in_flight.pop_front() {
+            sink(item);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +169,17 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_latency_rejected() {
         let _ = DelayChannel::<u32>::new(0);
+    }
+
+    #[test]
+    fn drain_all_empties_the_channel_ignoring_due_times() {
+        let mut ch = DelayChannel::new(4);
+        ch.send(0, 'a');
+        ch.send(3, 'b');
+        let mut drained = Vec::new();
+        ch.drain_all(|item| drained.push(item));
+        assert_eq!(drained, vec!['a', 'b']);
+        assert!(ch.is_empty());
+        assert_eq!(ch.next_due(), None);
     }
 }

@@ -35,6 +35,11 @@ pub enum VcState {
     VcAllocation,
     /// Output VC assigned; flits compete for the switch.
     Active,
+    /// The VC received body/tail flits without a head (the packet's earlier
+    /// flits died in a failed component upstream): the orphaned remainder is
+    /// discarded flit by flit — with normal credit returns, so upstream flow
+    /// control stays exact — until a head flit reaches the front.
+    Draining,
 }
 
 #[derive(Debug)]
@@ -102,19 +107,25 @@ pub struct TraversalOutput {
     pub ejected: Vec<Flit>,
     /// Output ports with at least one buffered flit that
     /// [`sa_st_stage_fenced`](Router::sa_st_stage_fenced) held back because
-    /// the port was fenced (its downstream router is power-gated or waking).
-    /// The driver raises a wakeup request towards each such neighbour.
+    /// the port was fenced (its downstream router is power-gated, waking, or
+    /// failed). The driver raises a wakeup request towards each such
+    /// neighbour (a no-op for failed ones).
     pub fenced_ports: u8,
+    /// Orphaned flits discarded this step by [`VcState::Draining`] input VCs
+    /// (their packet's head died in a failed component upstream). The driver
+    /// adds them to its dropped-flit ledger.
+    pub dropped: u64,
 }
 
 impl TraversalOutput {
     /// Empties all three lists (retaining their capacity for reuse) and
-    /// clears the fenced-port mask.
+    /// clears the fenced-port mask and dropped-flit count.
     pub fn clear(&mut self) {
         self.outgoing.clear();
         self.credits.clear();
         self.ejected.clear();
         self.fenced_ports = 0;
+        self.dropped = 0;
     }
 
     /// Whether the step produced nothing.
@@ -167,6 +178,9 @@ pub struct Router {
     va_pending: u32,
     /// Per-port bitmask of input VCs in the `Active` state.
     active_mask: [u64; PORT_COUNT],
+    /// Per-port bitmask of input VCs in the `Draining` state (orphaned
+    /// packet remainders being discarded after an upstream failure).
+    drain_mask: [u64; PORT_COUNT],
     /// Per-port bitmask of output VCs *not* allocated to a packet.
     free_out_mask: [u64; PORT_COUNT],
     /// Dateline VC-class masks: `class_masks[c]` is the set of output VCs a
@@ -222,6 +236,7 @@ impl Router {
             routing_pending: 0,
             va_pending: 0,
             active_mask: [0; PORT_COUNT],
+            drain_mask: [0; PORT_COUNT],
             free_out_mask: [all_vcs_free; PORT_COUNT],
             class_masks,
             activity: RouterActivity::new(),
@@ -303,6 +318,14 @@ impl Router {
         self.outputs[port * self.vcs + vc].credits
     }
 
+    /// The `(out_port, out_vc)` the packet on input VC (`port`, `vc`) is
+    /// routed to — `None` before RC / VC allocation respectively. Intended
+    /// for tests and wait-for-graph diagnostics.
+    pub fn input_vc_route(&self, port: usize, vc: usize) -> (Option<usize>, Option<usize>) {
+        let input = &self.inputs[port * self.vcs + vc];
+        (input.out_port.map(usize::from), input.out_vc.map(usize::from))
+    }
+
     /// Total number of flits buffered in this router.
     pub fn buffered_flits(&self) -> usize {
         self.buffered
@@ -322,14 +345,24 @@ impl Router {
         input.buffer.push(flit);
         self.buffered += 1;
         self.activity.buffer_writes += 1;
+        let front_is_head = input.buffer.front().map(|f| f.kind.is_head()).unwrap_or(false);
         if input.state == VcState::Idle {
-            let front_is_head =
-                input.buffer.front().map(|f| f.kind.is_head()).unwrap_or(false);
             if front_is_head {
                 input.state = VcState::Routing;
                 self.routing_mask[in_port] |= 1u64 << vc;
                 self.routing_pending += 1;
+            } else {
+                // A body/tail flit with no packet context: its head died in a
+                // failed component upstream. Discard the orphaned remainder.
+                input.state = VcState::Draining;
+                self.drain_mask[in_port] |= 1u64 << vc;
             }
+        } else if input.state == VcState::Draining && front_is_head {
+            // The orphan was fully drained and a fresh packet starts.
+            input.state = VcState::Routing;
+            self.drain_mask[in_port] &= !(1u64 << vc);
+            self.routing_mask[in_port] |= 1u64 << vc;
+            self.routing_pending += 1;
         }
     }
 
@@ -344,33 +377,81 @@ impl Router {
     /// the dateline VC class) of every head flit waiting in the `Routing`
     /// state.
     pub fn rc_stage(&mut self, topo: &Topology, routing: &dyn RoutingAlgorithm) {
-        if self.routing_pending == 0 {
+        self.rc_stage_blocked(topo, routing, 0);
+    }
+
+    /// [`rc_stage`](Self::rc_stage) with a mask of output ports that lead to
+    /// failed links, failed routers, or fenced (power-gated) neighbours.
+    /// Adaptive algorithms deviate around blocked ports via
+    /// [`RoutingAlgorithm::route_around`]; dimension-ordered algorithms
+    /// ignore the mask (their default `route_around` delegates to `route`),
+    /// so with `blocked == 0` — or any DO algorithm — this is byte-for-byte
+    /// the plain stage.
+    pub fn rc_stage_blocked(
+        &mut self,
+        topo: &Topology,
+        routing: &dyn RoutingAlgorithm,
+        blocked: u8,
+    ) {
+        if self.routing_pending == 0 && self.va_pending == 0 {
             return;
         }
+        // Ports with no free adaptive-class VC left, for availability-aware
+        // adaptive selection (RC precedes VA, so the mask is stable across
+        // this cycle's selections).
+        let mut adaptive_full = 0u8;
+        for dir_port in 0..LOCAL_PORT {
+            if self.free_out_mask[dir_port] & self.class_masks[1] == 0 {
+                adaptive_full |= 1u8 << dir_port;
+            }
+        }
         for port in 0..PORT_COUNT {
-            let mut mask = self.routing_mask[port];
+            let fresh = self.routing_mask[port];
+            // Heads still waiting in VcAllocation re-run route computation
+            // every cycle: an adaptive algorithm may pick a different port or
+            // VC class as faults/fences appear and disappear, and Duato's
+            // deadlock-freedom argument needs blocked packets to keep being
+            // offered the escape path. Dimension-ordered algorithms recompute
+            // the identical route, so this is behaviour-neutral for them.
+            let mut mask = fresh | self.va_mask[port];
             if mask == 0 {
                 continue;
             }
-            // Every VC in Routing state advances to VcAllocation this cycle.
-            self.va_mask[port] |= mask;
-            self.routing_mask[port] = 0;
-            self.va_pending += mask.count_ones();
-            self.routing_pending -= mask.count_ones();
+            if fresh != 0 {
+                // Every VC in Routing state advances to VcAllocation.
+                self.va_mask[port] |= fresh;
+                self.routing_mask[port] = 0;
+                self.va_pending += fresh.count_ones();
+                self.routing_pending -= fresh.count_ones();
+            }
             while mask != 0 {
                 let vc = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 let input = &mut self.inputs[port * self.vcs + vc];
-                debug_assert_eq!(input.state, VcState::Routing);
+                debug_assert!(
+                    input.state == VcState::Routing || input.state == VcState::VcAllocation
+                );
                 let head = input
                     .buffer
                     .front()
-                    .expect("a VC in Routing state must have a head flit buffered");
+                    .expect("a VC awaiting routing must have a head flit buffered");
                 debug_assert!(head.kind.is_head());
-                let dir = routing.route(topo, self.node, head.dst());
+                // The class of the VC the head occupies tells the algorithm
+                // whether the packet is travelling on the escape network
+                // (sticky — see `MinimalAdaptive`).
+                let in_class = u8::from(self.class_masks[0] & (1u64 << vc) == 0);
+                let (dir, class) = routing.route_around(
+                    topo,
+                    head.src(),
+                    self.node,
+                    head.dst(),
+                    port,
+                    in_class,
+                    blocked,
+                    adaptive_full,
+                );
                 input.out_port = Some(dir.index() as u8);
-                input.next_class =
-                    routing.next_vc_class(topo, head.src(), self.node, head.dst());
+                input.next_class = class;
                 input.state = VcState::VcAllocation;
             }
         }
@@ -468,6 +549,7 @@ impl Router {
         if self.buffered == 0 {
             return;
         }
+        self.drain_orphans(out);
         self.requests.clear();
         for port in 0..PORT_COUNT {
             let mut mask = self.active_mask[port];
@@ -531,12 +613,114 @@ impl Router {
                 input.out_port = None;
                 input.out_vc = None;
                 if let Some(front) = input.buffer.front() {
-                    debug_assert!(front.kind.is_head(), "flit following a tail must be a head");
+                    if front.kind.is_head() {
+                        input.state = VcState::Routing;
+                        self.routing_mask[in_port] |= 1u64 << in_vc;
+                        self.routing_pending += 1;
+                    } else {
+                        // The next packet lost its head in a failed component
+                        // upstream; discard its orphaned remainder.
+                        input.state = VcState::Draining;
+                        self.drain_mask[in_port] |= 1u64 << in_vc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discards one flit per [`VcState::Draining`] input VC (matching the
+    /// one-flit-per-cycle switch rate), returning a credit upstream for each
+    /// and counting the drop in [`TraversalOutput::dropped`]. A VC whose
+    /// front flit is a head resumes normal routing instead.
+    fn drain_orphans(&mut self, out: &mut TraversalOutput) {
+        for port in 0..PORT_COUNT {
+            let mut mask = self.drain_mask[port];
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &mut self.inputs[port * self.vcs + vc];
+                debug_assert_eq!(input.state, VcState::Draining);
+                let Some(front) = input.buffer.front() else { continue };
+                if !front.kind.is_head() {
+                    input.buffer.pop().expect("front flit exists");
+                    self.buffered -= 1;
+                    self.activity.buffer_reads += 1;
+                    out.credits.push(CreditReturn { in_port: port, vc });
+                    out.dropped += 1;
+                }
+                if input.buffer.front().map(|f| f.kind.is_head()).unwrap_or(false) {
                     input.state = VcState::Routing;
-                    self.routing_mask[in_port] |= 1u64 << in_vc;
+                    self.drain_mask[port] &= !(1u64 << vc);
+                    self.routing_mask[port] |= 1u64 << vc;
                     self.routing_pending += 1;
                 }
             }
+        }
+    }
+
+    /// Re-partitions the VC classes into an escape half (class 0) and an
+    /// adaptive half (class 1), as required by routing algorithms with
+    /// [`RoutingAlgorithm::wants_escape_classes`]. On a torus the dateline
+    /// masks already have this shape, so the split only changes mesh routers.
+    pub(crate) fn split_vc_classes(&mut self) {
+        let all = if self.vcs == 64 { u64::MAX } else { (1u64 << self.vcs) - 1 };
+        let low = (1u64 << self.vcs.div_ceil(2)) - 1;
+        self.class_masks = [low, all & !low];
+    }
+
+    /// Empties every input buffer (router death): each discarded flit is
+    /// counted as dropped and produces a [`CreditReturn`] that the driver
+    /// routes to the upstream neighbour or local source, keeping their credit
+    /// accounting exact. All pipeline state is then factory-reset (`depth` is
+    /// the configured buffer depth, restoring full output credits).
+    ///
+    /// Returns the number of flits dropped.
+    pub(crate) fn purge_all(&mut self, depth: usize, credits: &mut Vec<CreditReturn>) -> u64 {
+        let mut dropped = 0u64;
+        for port in 0..PORT_COUNT {
+            for vc in 0..self.vcs {
+                let input = &mut self.inputs[port * self.vcs + vc];
+                while input.buffer.pop().is_some() {
+                    dropped += 1;
+                    credits.push(CreditReturn { in_port: port, vc });
+                }
+                input.state = VcState::Idle;
+                input.out_port = None;
+                input.out_vc = None;
+                input.next_class = 0;
+            }
+        }
+        for out in self.outputs.iter_mut() {
+            out.credits = depth;
+            out.allocated = false;
+        }
+        let all = if self.vcs == 64 { u64::MAX } else { (1u64 << self.vcs) - 1 };
+        self.routing_mask = [0; PORT_COUNT];
+        self.va_mask = [0; PORT_COUNT];
+        self.drain_mask = [0; PORT_COUNT];
+        self.active_mask = [0; PORT_COUNT];
+        self.routing_pending = 0;
+        self.va_pending = 0;
+        self.free_out_mask = [all; PORT_COUNT];
+        self.out_vc_rr.fill(0);
+        self.buffered = 0;
+        dropped
+    }
+
+    /// Overrides the credit/allocation state of output (`port`, `vc`) — used
+    /// when a transiently failed router comes back: outputs facing a
+    /// neighbour input VC that is idle get a full credit refill, while
+    /// outputs facing a VC still holding pre-fault flits are *retired*
+    /// (`retired = true`: permanently allocated with zero credits, so they
+    /// are never granted again and cannot corrupt the neighbour's state).
+    pub(crate) fn resync_output(&mut self, port: usize, vc: usize, credits: usize, retired: bool) {
+        let output = &mut self.outputs[port * self.vcs + vc];
+        output.credits = credits;
+        output.allocated = retired;
+        if retired {
+            self.free_out_mask[port] &= !(1u64 << vc);
+        } else {
+            self.free_out_mask[port] |= 1u64 << vc;
         }
     }
 }

@@ -20,6 +20,7 @@
 //! restriction applies.
 
 use crate::topology::{Direction, Topology};
+use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 
 /// A deterministic routing function: which output port should a packet
@@ -40,6 +41,47 @@ pub trait RoutingAlgorithm: Debug + Send + Sync {
     fn next_vc_class(&self, topo: &Topology, src: usize, current: usize, dst: usize) -> u8 {
         let _ = (topo, src, current, dst);
         0
+    }
+
+    /// Routing with blockage context, consulted by the router's RC stage.
+    ///
+    /// `blocked` is a bitmask of output ports that are currently unusable at
+    /// `current` (failed links, failed neighbours, fenced power-gated
+    /// neighbours); `in_port` is the port the head flit arrived on and
+    /// `in_class` the VC class (0 = escape, 1 = adaptive) of the input VC it
+    /// occupies; `adaptive_full` is a bitmask of output ports with no free
+    /// adaptive-class VC left. Returns the chosen output port together with
+    /// the virtual-channel class the packet must use downstream.
+    ///
+    /// The default implementation ignores the blockage context entirely and
+    /// delegates to [`route`](Self::route) / [`next_vc_class`](Self::next_vc_class):
+    /// deterministic dimension-ordered algorithms keep their exact fault-free
+    /// behaviour (bit-identical goldens) and visibly strand traffic at failed
+    /// components instead of escaping them. Adaptive algorithms override this.
+    #[allow(clippy::too_many_arguments)]
+    fn route_around(
+        &self,
+        topo: &Topology,
+        src: usize,
+        current: usize,
+        dst: usize,
+        in_port: usize,
+        in_class: u8,
+        blocked: u8,
+        adaptive_full: u8,
+    ) -> (Direction, u8) {
+        let _ = (in_port, in_class, blocked, adaptive_full);
+        (self.route(topo, current, dst), self.next_vc_class(topo, src, current, dst))
+    }
+
+    /// Whether the router must split its virtual channels into an escape
+    /// class (class 0) and an adaptive class (class 1) on *every* topology.
+    ///
+    /// Dimension-ordered algorithms return `false`: they only need the
+    /// dateline split the torus already imposes. [`MinimalAdaptive`] returns
+    /// `true` so that meshes also reserve a deadlock-free escape class.
+    fn wants_escape_classes(&self) -> bool {
+        false
     }
 
     /// The number of hops the algorithm takes from `src` to `dst`
@@ -222,6 +264,240 @@ impl RoutingAlgorithm for YxRouting {
     }
 }
 
+/// The mesh-style (never wrap-around) XY direction from `current` to `dst`.
+///
+/// On a torus this deliberately ignores the wrap links, so the directed
+/// channel-dependency graph it induces is acyclic on *both* topologies —
+/// which is what makes it a valid Duato escape network.
+fn mesh_xy(topo: &Topology, current: usize, dst: usize) -> Direction {
+    let (cx, cy) = topo.coords(current);
+    let (dx, dy) = topo.coords(dst);
+    if cx != dx {
+        if cx < dx {
+            Direction::East
+        } else {
+            Direction::West
+        }
+    } else if cy != dy {
+        if cy < dy {
+            Direction::South
+        } else {
+            Direction::North
+        }
+    } else {
+        Direction::Local
+    }
+}
+
+/// Duato-style minimal-adaptive routing with escape virtual channels.
+///
+/// The virtual channels are split into two classes (see
+/// [`Router`](crate::router::Router)): **class 0 — escape** — runs
+/// dimension-ordered XY along mesh directions only (never a wrap-around
+/// link), so its channel-dependency graph is acyclic on mesh *and* torus and
+/// packets restricted to it always drain; **class 1 — adaptive** — carries
+/// minimal-adaptive traffic and the deviations around failed links/routers
+/// or fenced (power-gated) neighbours.
+///
+/// **The escape class is sticky** (Duato's condition for wormhole networks):
+/// a packet travelling on an escape channel is only ever offered the next
+/// escape channel, so an escape-channel holder never waits on adaptive
+/// resources — a mixed-class wait would let adaptive credit cycles thread
+/// through the escape network and deadlock it. The single exception is a
+/// *faulted* escape hop: strict stickiness would strand the packet at a
+/// permanent fault, so there (and only there) it re-enters the adaptive
+/// class. This re-entry edge is the one residual hole in the deadlock
+/// argument; it exists solely while a fault fence is up, and the storm
+/// liveness tests in `tests/fault_invariants.rs` exercise it empirically.
+///
+/// Port choice at each hop, in order:
+/// 1. a packet already on the escape class continues on the escape (mesh-XY)
+///    port — class 0 — unless that port is fault-blocked (see above);
+/// 2. a minimal port (torus-aware, so wrap links are eligible) that is not
+///    blocked and still has a free adaptive VC — class 1;
+/// 3. the escape port, when it is not blocked and is not the port the packet
+///    just arrived through (a deviated packet must not bounce straight back
+///    — the U-turn ping-pong builds circular VC dependencies) — class 0;
+///    this is the fallback Duato's argument requires every blocked header to
+///    keep being offered, and the router re-runs this selection every cycle;
+/// 4. a minimal unblocked port whose adaptive VCs are all busy — class 1 —
+///    waiting there (the header re-selects, so escape is re-offered);
+/// 5. a non-minimal detour: the unblocked port (never the local port and
+///    never a U-turn back through `in_port`) whose neighbour is closest to
+///    the destination, preferring ports perpendicular to the escape
+///    direction over its reverse — class 1.
+///
+/// When every candidate is blocked the packet commits to the escape port and
+/// waits; against a permanent fault it strands there, visibly, in the
+/// drop/strand accounting rather than silently. The algorithm is stateless
+/// and never U-turns onto the escape class, so it routes around isolated
+/// faults but does not search its way out of dead-end corridors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimalAdaptive {
+    _private: (),
+}
+
+impl MinimalAdaptive {
+    /// Creates the minimal-adaptive routing function.
+    pub fn new() -> Self {
+        MinimalAdaptive { _private: () }
+    }
+
+    /// The torus-aware minimal direction along each still-uncorrected
+    /// dimension, X first (up to two candidates).
+    fn minimal_candidates(topo: &Topology, current: usize, dst: usize) -> [Option<Direction>; 2] {
+        let (cx, cy) = topo.coords(current);
+        let (dx, dy) = topo.coords(dst);
+        let torus = topo.is_torus();
+        let x = (cx != dx).then(|| {
+            if ring_positive(torus, topo.width(), cx, dx) {
+                Direction::East
+            } else {
+                Direction::West
+            }
+        });
+        let y = (cy != dy).then(|| {
+            if ring_positive(torus, topo.height(), cy, dy) {
+                Direction::South
+            } else {
+                Direction::North
+            }
+        });
+        [x, y]
+    }
+}
+
+impl RoutingAlgorithm for MinimalAdaptive {
+    /// The fault-free deterministic path: the escape network's mesh-XY route.
+    fn route(&self, topo: &Topology, current: usize, dst: usize) -> Direction {
+        mesh_xy(topo, current, dst)
+    }
+
+    /// Packets following [`route`](Self::route) stay on the escape class.
+    fn next_vc_class(&self, _topo: &Topology, _src: usize, _current: usize, _dst: usize) -> u8 {
+        0
+    }
+
+    fn wants_escape_classes(&self) -> bool {
+        true
+    }
+
+    fn route_around(
+        &self,
+        topo: &Topology,
+        _src: usize,
+        current: usize,
+        dst: usize,
+        in_port: usize,
+        in_class: u8,
+        blocked: u8,
+        adaptive_full: u8,
+    ) -> (Direction, u8) {
+        let escape = mesh_xy(topo, current, dst);
+        if escape == Direction::Local {
+            return (Direction::Local, 0);
+        }
+        let usable = |dir: Direction| {
+            blocked & (1u8 << dir.index()) == 0 && topo.neighbor(current, dir).is_some()
+        };
+        // Sticky escape: a packet on an escape channel continues on the
+        // escape network, whatever the congestion — only a *faulted* escape
+        // hop sends it back into the adaptive class (see the type docs).
+        // XY never reverses, so this continuation cannot ping-pong.
+        let on_escape = in_class == 0 && in_port != Direction::Local.index();
+        if on_escape && usable(escape) {
+            return (escape, 0);
+        }
+        // Adaptive class. Minimal progress first (wrap links eligible): any
+        // unblocked minimal port with a free adaptive VC, X-dimension first.
+        let minimal = MinimalAdaptive::minimal_candidates(topo, current, dst);
+        for dir in minimal.into_iter().flatten() {
+            if usable(dir) && adaptive_full & (1u8 << dir.index()) == 0 {
+                return (dir, 1);
+            }
+        }
+        // All adaptive minimal VCs busy: offer the escape channel — the
+        // fallback Duato's deadlock argument requires every blocked header
+        // to see (the RC stage re-runs this selection each cycle). Never
+        // through the port the packet arrived on: committing that U-turn to
+        // the sticky escape class bounces the packet between two routers
+        // forever and wedges both VCs.
+        let ping_pong = escape.index() == in_port;
+        if usable(escape) && !ping_pong {
+            return (escape, 0);
+        }
+        // Escape blocked (or a bounce): wait minimally in the adaptive class
+        // before considering a detour — the header keeps re-selecting.
+        for dir in minimal.into_iter().flatten() {
+            if usable(dir) {
+                return (dir, 1);
+            }
+        }
+        // Non-minimal detour: closest-to-destination unblocked port, never a
+        // U-turn. The reverse of the escape direction ranks behind the two
+        // perpendicular ports at equal distance — walking *around* a fault
+        // beats backing away from it, which tends to orbit the fault region
+        // forever. Remaining ties break on port order (N < E < S < W).
+        let reverse = escape.opposite();
+        let mut best: Option<(usize, bool, Direction)> = None;
+        for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            if dir == escape || dir.index() == in_port || !usable(dir) {
+                continue;
+            }
+            let nbr = topo.neighbor(current, dir).expect("usable port has a neighbor");
+            let dist = topo.hop_distance(nbr, dst);
+            let backs_away = dir == reverse;
+            if best.is_none_or(|(d, b, _)| (dist, backs_away) < (d, b)) {
+                best = Some((dist, backs_away, dir));
+            }
+        }
+        match best {
+            Some((_, _, dir)) => (dir, 1),
+            // Fully blocked: commit to the escape port and wait (or strand).
+            None => (escape, 0),
+        }
+    }
+}
+
+/// The routing-algorithm axis of a [`NetworkConfig`](crate::NetworkConfig):
+/// a serialisable name that resolves to a [`RoutingAlgorithm`]
+/// implementation at simulation construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-ordered XY (the paper's baseline).
+    #[default]
+    Xy,
+    /// Dimension-ordered YX.
+    Yx,
+    /// Minimal-adaptive with dimension-ordered escape VCs
+    /// ([`MinimalAdaptive`]); requires at least two virtual channels.
+    MinimalAdaptive,
+}
+
+impl RoutingKind {
+    /// All routing kinds, for sweeping.
+    pub const ALL: [RoutingKind; 3] =
+        [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::MinimalAdaptive];
+
+    /// Short lowercase name used in scenario labels and result files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingKind::Xy => "xy",
+            RoutingKind::Yx => "yx",
+            RoutingKind::MinimalAdaptive => "adaptive",
+        }
+    }
+
+    /// Instantiates the algorithm.
+    pub fn algorithm(&self) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            RoutingKind::Xy => Box::new(XyRouting::new()),
+            RoutingKind::Yx => Box::new(YxRouting::new()),
+            RoutingKind::MinimalAdaptive => Box::new(MinimalAdaptive::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +654,158 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn adaptive_selection_is_minimal_and_escape_stays_mesh_xy() {
+        for topo in [Topology::mesh(5, 5), Topology::torus(5, 5)] {
+            let adaptive = MinimalAdaptive::new();
+            let local = Direction::Local.index();
+            for src in 0..topo.node_count() {
+                for dst in 0..topo.node_count() {
+                    // With adaptive VCs free, an injected packet makes
+                    // minimal progress in the adaptive class.
+                    let (dir, class) = adaptive.route_around(&topo, src, src, dst, local, 1, 0, 0);
+                    if src == dst {
+                        assert_eq!((dir, class), (Direction::Local, 0));
+                        continue;
+                    }
+                    assert_eq!(class, 1, "fault-free traffic rides the adaptive class");
+                    let nbr = topo.neighbor(src, dir).unwrap();
+                    assert_eq!(
+                        topo.hop_distance(nbr, dst),
+                        topo.hop_distance(src, dst) - 1,
+                        "{topo}: {src}->{dst} via {dir:?} must be minimal"
+                    );
+                    // With every adaptive VC busy, the fallback is the
+                    // escape network: mesh-XY, class 0, never a wrap link.
+                    let (dir, class) =
+                        adaptive.route_around(&topo, src, src, dst, local, 1, 0, 0b1111);
+                    assert_eq!(dir, mesh_xy(&topo, src, dst));
+                    assert_eq!(class, 0, "blocked headers are offered the escape class");
+                    let nbr = topo.neighbor(src, dir).unwrap();
+                    let (sx, sy) = topo.coords(src);
+                    let (nx, ny) = topo.coords(nbr);
+                    assert!(
+                        sx.abs_diff(nx) + sy.abs_diff(ny) == 1,
+                        "escape hop {src}->{nbr} must not wrap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_class_is_sticky_until_faulted() {
+        let mesh = Mesh2d::new(5, 5);
+        let adaptive = MinimalAdaptive::new();
+        let current = mesh.node_at(2, 2);
+        let dst = mesh.node_at(4, 2);
+        // Escape wants East; the packet arrived on an escape VC from the
+        // West. It must continue on escape even though adaptive VCs are
+        // free everywhere — an escape holder never waits on adaptive
+        // resources (Duato's wormhole condition).
+        let in_west = Direction::West.index();
+        assert_eq!(
+            adaptive.route_around(&mesh, 0, current, dst, in_west, 0, 0, 0),
+            (Direction::East, 0)
+        );
+        // A *faulted* escape hop is the one exception: the packet re-enters
+        // the adaptive class instead of stranding at the dead link.
+        let blocked = 1u8 << Direction::East.index();
+        let (dir, class) = adaptive.route_around(&mesh, 0, current, dst, in_west, 0, blocked, 0);
+        assert_eq!(class, 1, "a dead escape hop re-enters the adaptive class");
+        assert_ne!(dir, Direction::East);
+        // An adaptive packet, by contrast, only takes escape when the
+        // adaptive VCs of its minimal port are exhausted.
+        let full_east = 1u8 << Direction::East.index();
+        assert_eq!(
+            adaptive.route_around(&mesh, 0, current, dst, in_west, 1, 0, full_east),
+            (Direction::East, 0)
+        );
+    }
+
+    #[test]
+    fn adaptive_deviates_around_a_blocked_escape_port() {
+        let mesh = Mesh2d::new(5, 5);
+        let adaptive = MinimalAdaptive::new();
+        let src = mesh.node_at(1, 2);
+        let dst = mesh.node_at(3, 4);
+        // Escape wants East; block it: the other minimal port (South) wins,
+        // in the adaptive class.
+        let blocked = 1u8 << Direction::East.index();
+        assert_eq!(
+            adaptive.route_around(&mesh, src, src, dst, Direction::Local.index(), 1, blocked, 0),
+            (Direction::South, 1)
+        );
+        // Block both minimal ports: a detour (closest to dst, never a
+        // U-turn) in the adaptive class.
+        let blocked = blocked | 1u8 << Direction::South.index();
+        let (dir, class) =
+            adaptive.route_around(&mesh, src, src, dst, Direction::West.index(), 1, blocked, 0);
+        assert_eq!(class, 1);
+        assert_eq!(dir, Direction::North, "north neighbour (1,1) is closer than a U-turn west");
+        // Fully blocked: commit to the escape port and wait there.
+        assert_eq!(
+            adaptive.route_around(&mesh, src, src, dst, Direction::Local.index(), 1, 0b1111, 0),
+            (Direction::East, 0)
+        );
+    }
+
+    #[test]
+    fn adaptive_never_routes_off_the_topology_under_arbitrary_blockage() {
+        for topo in [Topology::mesh(4, 4), Topology::torus(4, 4)] {
+            let adaptive = MinimalAdaptive::new();
+            for src in 0..topo.node_count() {
+                for dst in 0..topo.node_count() {
+                    if src == dst {
+                        continue;
+                    }
+                    for blocked in 0u8..16 {
+                        for in_port in 0..5 {
+                            for in_class in 0..2u8 {
+                                for adaptive_full in [0u8, 0b0101, 0b1111] {
+                                    let (dir, class) = adaptive.route_around(
+                                        &topo,
+                                        src,
+                                        src,
+                                        dst,
+                                        in_port,
+                                        in_class,
+                                        blocked,
+                                        adaptive_full,
+                                    );
+                                    assert!(dir != Direction::Local);
+                                    assert!(
+                                        topo.neighbor(src, dir).is_some(),
+                                        "{topo}: {src}->{dst} blocked {blocked:#06b} chose {dir:?}"
+                                    );
+                                    assert!(class <= 1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_ordered_route_around_ignores_blockage() {
+        // The default trait impl must keep DO routing bit-identical with and
+        // without blockage context — that is what makes DO visibly strand
+        // traffic at faults.
+        let t = Topology::torus(5, 5);
+        let xy = XyRouting::new();
+        for src in 0..t.node_count() {
+            for dst in 0..t.node_count() {
+                let (dir, class) = xy.route_around(&t, src, src, dst, 0, 1, 0b1111, 0b1111);
+                assert_eq!(dir, xy.route(&t, src, dst));
+                assert_eq!(class, xy.next_vc_class(&t, src, src, dst));
+            }
+        }
+        assert!(!xy.wants_escape_classes());
+        assert!(MinimalAdaptive::new().wants_escape_classes());
     }
 
     #[test]

@@ -173,6 +173,62 @@ fn residency_bin(frequency_hz: f64) -> i64 {
     (frequency_hz / RESIDENCY_BIN_HZ).round() as i64
 }
 
+/// Degraded-mode summary of a faulted run: what the network still delivered
+/// and what the faults cost, relative to a fault-free reference run of the
+/// same workload.
+///
+/// Built by the experiment layer (e.g.
+/// `noc_dvfs::degraded_mode_report`) from two operating points; the power
+/// crate only defines the report shape and its derived scalars so that
+/// figure/report code can consume it next to [`PowerReport`] and
+/// [`FrequencyResidency`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradedModeReport {
+    /// Fraction of source–destination pairs still connected at the end of
+    /// the faulted run (1.0 = the network is whole).
+    pub reachability: f64,
+    /// Packets delivered by the faulted run.
+    pub packets_delivered: u64,
+    /// Flits dropped by fault-killed components during the faulted run.
+    pub flits_dropped: u64,
+    /// Average packet latency of the faulted run, NoC cycles.
+    pub avg_latency_cycles: f64,
+    /// Average packet latency of the fault-free reference run, NoC cycles.
+    pub fault_free_latency_cycles: f64,
+    /// Energy per delivered flit of the faulted run, picojoules.
+    pub energy_per_flit_pj: f64,
+    /// Energy per delivered flit of the fault-free reference, picojoules.
+    pub fault_free_energy_per_flit_pj: f64,
+}
+
+impl DegradedModeReport {
+    /// Latency inflation factor of the faulted run over the fault-free
+    /// reference (1.0 when the reference latency is zero/unknown). Detours
+    /// taken by adaptive routing around failed components show up here.
+    pub fn latency_inflation(&self) -> f64 {
+        if self.fault_free_latency_cycles > 0.0 {
+            self.avg_latency_cycles / self.fault_free_latency_cycles
+        } else {
+            1.0
+        }
+    }
+
+    /// Extra energy attributable to rerouting and congestion around faults,
+    /// picojoules: the per-flit energy excess over the fault-free reference
+    /// times the flits the faulted run still delivered. Clamped at zero —
+    /// a faulted run that delivers less traffic can legitimately spend less
+    /// total energy, which is not a rerouting cost.
+    pub fn rerouting_energy_pj(&self) -> f64 {
+        let excess = (self.energy_per_flit_pj - self.fault_free_energy_per_flit_pj).max(0.0);
+        excess * self.packets_delivered as f64
+    }
+
+    /// Whether the run degraded at all (lost connectivity or dropped flits).
+    pub fn is_degraded(&self) -> bool {
+        self.reachability < 1.0 || self.flits_dropped > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +251,33 @@ mod tests {
         assert_eq!(r.total_mw(), 0.0);
         assert_eq!(r.peak_router_mw(), 0.0);
         assert_eq!(r.mean_router_mw(), 0.0);
+    }
+
+    #[test]
+    fn degraded_mode_report_derives_inflation_and_rerouting_energy() {
+        let r = DegradedModeReport {
+            reachability: 0.875,
+            packets_delivered: 1_000,
+            flits_dropped: 42,
+            avg_latency_cycles: 30.0,
+            fault_free_latency_cycles: 20.0,
+            energy_per_flit_pj: 5.5,
+            fault_free_energy_per_flit_pj: 5.0,
+        };
+        assert!((r.latency_inflation() - 1.5).abs() < 1e-12);
+        assert!((r.rerouting_energy_pj() - 500.0).abs() < 1e-9);
+        assert!(r.is_degraded());
+        // A pristine run: no inflation reference, nothing degraded.
+        let whole = DegradedModeReport {
+            reachability: 1.0,
+            packets_delivered: 10,
+            energy_per_flit_pj: 4.0,
+            fault_free_energy_per_flit_pj: 5.0,
+            ..Default::default()
+        };
+        assert_eq!(whole.latency_inflation(), 1.0);
+        assert_eq!(whole.rerouting_energy_pj(), 0.0, "cheaper-than-reference clamps to zero");
+        assert!(!whole.is_degraded());
     }
 
     #[test]

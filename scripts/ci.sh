@@ -18,13 +18,14 @@ PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q
 
 # The sparse activity-tracked engine is the default; the dense O(nodes×ports)
 # reference loop must never rot, so the determinism goldens, the differential
-# suite, the island invariants and the power-gating invariants run a second
-# time with NOC_DENSE_STEP=1 forcing every simulation (including the ones
-# inside the sweep engines) onto the dense path. The golden window constants
-# are engine-independent by contract, and so are the voltage-frequency island
-# fire-gating and the router sleep/wakeup state machines.
-echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants (dense reference loop)"
-NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants
+# suite, the island invariants, the power-gating invariants and the
+# fault-injection invariants run a second time with NOC_DENSE_STEP=1 forcing
+# every simulation (including the ones inside the sweep engines) onto the
+# dense path. The golden window constants are engine-independent by contract,
+# and so are the voltage-frequency island fire-gating, the router
+# sleep/wakeup state machines, and the fault fence/purge/recovery protocol.
+echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants (dense reference loop)"
+NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants
 
 # Documentation is part of the contract: every public item is documented
 # (#![warn(missing_docs)] + clippy -D warnings below), rustdoc links must

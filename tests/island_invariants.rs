@@ -51,6 +51,7 @@ const GOLDEN_FIRST: WindowMeasurement = WindowMeasurement {
     flits_ejected: 852,
     latency_cycles_sum: 3249,
     delay_ps_sum: 3249000.0,
+    flits_dropped: 0,
 };
 
 fn golden_sim(regions: RegionScheme) -> NocSimulation {

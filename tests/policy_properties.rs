@@ -21,6 +21,7 @@ fn measurement(rate: f64, delay_ns: f64) -> ControlMeasurement {
             flits_ejected: packets * 20,
             latency_cycles_sum: packets * 60,
             delay_ps_sum: delay_ns * 1.0e3 * packets as f64,
+            flits_dropped: 0,
         },
         node_count,
         current_frequency: Hertz::from_ghz(1.0),
