@@ -14,9 +14,14 @@
 //! cycles/second computed from the **best (minimum) time** over `--repeats`
 //! runs — best-of suppresses scheduler noise but is systematically optimistic,
 //! so compare ratios between runs, not absolutes. The figure-regeneration
-//! case times one quick-quality Fig. 2-style sweep end to end. With `--merge`, the previously recorded JSON is kept
-//! under its original labels and the new run is appended, so the artifact
-//! accumulates a perf trajectory across PRs.
+//! case times one quick-quality Fig. 2-style sweep end to end.
+//!
+//! With `--merge`, the previously recorded JSON is merged **case by case**:
+//! runs under other labels are preserved verbatim, and re-recording an
+//! existing label updates only the cases that actually ran this time — so a
+//! `--filter`ed run refreshes its matching cases without dropping or
+//! shadowing the label's previously recorded unfiltered cases. The artifact
+//! therefore accumulates a perf trajectory across PRs.
 
 use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
 use noc_sim::{
@@ -83,23 +88,119 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render_run(label: &str, results: &[CaseResult]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "    \"{}\": {{", json_escape(label));
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "      \"{}\": {{\"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}{}",
-            json_escape(&r.name),
-            r.cycles,
-            r.secs,
-            r.cycles_per_sec,
-            comma
-        );
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
     }
-    let _ = write!(out, "    }}");
     out
+}
+
+/// One recorded run: a label plus its cases in recording order. The case
+/// payload is kept as the rendered JSON object so merging never re-parses
+/// or re-rounds previously recorded numbers.
+struct RecordedRun {
+    label: String,
+    /// `(case name, rendered JSON object)`.
+    cases: Vec<(String, String)>,
+}
+
+fn render_case(r: &CaseResult) -> String {
+    format!(
+        "{{\"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+        r.cycles, r.secs, r.cycles_per_sec
+    )
+}
+
+/// Parses the runs out of an artifact previously written by this tool.
+/// Line-oriented: a run opens with `"label": {` on its own line, each case
+/// is a one-line `"name": {...}` entry, and a lone `}` / `},` closes the
+/// run. Anything before the `"runs": {` line is header and skipped.
+fn parse_runs(prior: &str) -> Vec<RecordedRun> {
+    let mut runs = Vec::new();
+    let mut current: Option<RecordedRun> = None;
+    let mut in_runs = false;
+    for line in prior.lines() {
+        let t = line.trim();
+        if !in_runs {
+            if t.starts_with("\"runs\"") && t.ends_with('{') {
+                in_runs = true;
+            }
+            continue;
+        }
+        if t == "}" || t == "}," {
+            // Closes the current run — or the runs object / document once
+            // no run is open, which is harmless.
+            runs.extend(current.take());
+            continue;
+        }
+        if let Some(label) =
+            t.strip_suffix(": {").and_then(|h| h.strip_prefix('"')).and_then(|h| h.strip_suffix('"'))
+        {
+            runs.extend(current.take());
+            current = Some(RecordedRun { label: json_unescape(label), cases: Vec::new() });
+            continue;
+        }
+        if let (Some(run), Some(colon)) = (current.as_mut(), t.find("\": {")) {
+            let name = json_unescape(&t[1..colon]);
+            let body = t[colon + 3..].trim_end_matches(',').to_string();
+            run.cases.push((name, body));
+        }
+    }
+    runs.extend(current.take());
+    runs
+}
+
+/// Merges this invocation's results into the previously recorded runs,
+/// case by case: an existing label keeps its recording order and every case
+/// the new (possibly `--filter`ed) run did not re-measure; re-measured cases
+/// are updated in place and genuinely new ones appended. A new label is
+/// appended after the existing runs.
+fn merge_results(runs: &mut Vec<RecordedRun>, label: &str, results: &[CaseResult]) {
+    let new_cases: Vec<(String, String)> =
+        results.iter().map(|r| (r.name.clone(), render_case(r))).collect();
+    if let Some(run) = runs.iter_mut().find(|r| r.label == label) {
+        for (name, body) in new_cases {
+            if let Some(slot) = run.cases.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = body;
+            } else {
+                run.cases.push((name, body));
+            }
+        }
+    } else {
+        runs.push(RecordedRun { label: label.to_string(), cases: new_cases });
+    }
+}
+
+fn render_document(cycles: u64, repeats: usize, runs: &[RecordedRun]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"sim_throughput\",");
+    let _ = writeln!(json, "  \"cycles_per_case\": {cycles},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(
+        json,
+        "  \"unit\": \"cycles_per_sec (best of repeats); fig2 case is wall seconds\","
+    );
+    let _ = writeln!(json, "  \"runs\": {{");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", json_escape(&run.label));
+        for (j, (name, body)) in run.cases.iter().enumerate() {
+            let comma = if j + 1 == run.cases.len() { "" } else { "," };
+            let _ = writeln!(json, "      \"{}\": {}{}", json_escape(name), body, comma);
+        }
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    json
 }
 
 fn main() {
@@ -243,6 +344,14 @@ fn main() {
             Box::new(uniform(0.0)),
         ),
         ("8x8_mesh_idle", NetworkConfig::builder().mesh(8, 8).build().unwrap(), Box::new(uniform(0.0))),
+        // Large-fabric probes for event-horizon stepping. The light-load
+        // 32x32 case spends most cycles with a quiescent pipeline and long
+        // injection gaps, so the clock jumps between due events; the idle
+        // 64x64 case is the pure horizon-skip number (nothing is ever due
+        // except the measurement window edge) and must sit orders of
+        // magnitude above base-tick stepping.
+        ("32x32_mesh_light_load", NetworkConfig::builder().mesh(32, 32).build().unwrap(), Box::new(uniform(0.005))),
+        ("64x64_mesh_idle", NetworkConfig::builder().mesh(64, 64).build().unwrap(), Box::new(uniform(0.0))),
     ];
 
     let selected = |name: &str| filter.as_ref().is_none_or(|f| name.contains(f.as_str()));
@@ -265,36 +374,90 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Preserve previously recorded runs (e.g. the pre-refactor baseline) by
-    // splicing their top-level entries ahead of the new one.
-    let mut runs: Vec<String> = Vec::new();
+    // Preserve previously recorded runs (e.g. the pre-refactor baseline),
+    // merging this run's cases into its label rather than appending a
+    // duplicate, so a --filtered re-record cannot drop or shadow the
+    // label's other cases.
+    let mut runs: Vec<RecordedRun> = Vec::new();
     if let Some(path) = merge {
         let prior = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read merge file {path}: {e}"));
-        // The artifact is always written by this tool, so the runs live
-        // between the outer "runs": { ... } braces with 4-space indents.
-        if let Some(start) = prior.find("\"runs\": {") {
-            let body = &prior[start + "\"runs\": {".len()..];
-            if let Some(end) = body.rfind("\n  }") {
-                let inner = body[..end].trim_matches('\n');
-                if !inner.trim().is_empty() {
-                    runs.push(inner.to_string());
-                }
-            }
-        }
+        runs = parse_runs(&prior);
     }
-    runs.push(render_run(&label, &results));
+    merge_results(&mut runs, &label, &results);
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"sim_throughput\",");
-    let _ = writeln!(json, "  \"cycles_per_case\": {cycles},");
-    let _ = writeln!(json, "  \"repeats\": {repeats},");
-    let _ = writeln!(json, "  \"unit\": \"cycles_per_sec (best of repeats); fig2 case is wall seconds\",");
-    let _ = writeln!(json, "  \"runs\": {{");
-    let _ = writeln!(json, "{}", runs.join(",\n"));
-    json.push_str("  }\n}\n");
-
+    let json = render_document(cycles, repeats, &runs);
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, cycles: u64, secs: f64) -> CaseResult {
+        CaseResult { name: name.to_string(), cycles, secs, cycles_per_sec: cycles as f64 / secs }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let mut runs = Vec::new();
+        merge_results(&mut runs, "baseline", &[case("a", 2000, 0.5), case("b", 2000, 0.25)]);
+        merge_results(&mut runs, "current", &[case("a", 2000, 0.4)]);
+        let doc = render_document(2000, 5, &runs);
+        let parsed = parse_runs(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "baseline");
+        assert_eq!(parsed[0].cases.len(), 2);
+        assert_eq!(parsed[0].cases[0].0, "a");
+        assert_eq!(parsed[0].cases[0].1, render_case(&case("a", 2000, 0.5)));
+        assert_eq!(parsed[1].label, "current");
+        assert_eq!(parsed[1].cases, vec![("a".to_string(), render_case(&case("a", 2000, 0.4)))]);
+        // Rendering the parsed runs reproduces the document byte for byte.
+        assert_eq!(render_document(2000, 5, &parsed), doc);
+    }
+
+    #[test]
+    fn filtered_rerecord_keeps_the_labels_other_cases() {
+        // An unfiltered "current" run with three cases...
+        let mut runs = Vec::new();
+        merge_results(
+            &mut runs,
+            "current",
+            &[case("alpha", 2000, 0.5), case("beta", 2000, 0.25), case("gamma", 2000, 0.125)],
+        );
+        let doc = render_document(2000, 5, &runs);
+        // ...then a --filter beta re-record merged on top of it.
+        let mut merged = parse_runs(&doc);
+        merge_results(&mut merged, "current", &[case("beta", 2000, 0.2)]);
+        assert_eq!(merged.len(), 1, "same label must not append a duplicate run");
+        let names: Vec<&str> = merged[0].cases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"], "unfiltered cases survive in order");
+        assert_eq!(merged[0].cases[1].1, render_case(&case("beta", 2000, 0.2)), "re-run updated");
+        assert_eq!(merged[0].cases[0].1, render_case(&case("alpha", 2000, 0.5)), "kept verbatim");
+    }
+
+    #[test]
+    fn new_label_is_appended_and_other_labels_kept_verbatim() {
+        let mut runs = Vec::new();
+        merge_results(&mut runs, "baseline", &[case("alpha", 2000, 0.5)]);
+        let doc = render_document(2000, 5, &runs);
+        let mut merged = parse_runs(&doc);
+        merge_results(&mut merged, "current", &[case("alpha", 2000, 0.4), case("delta", 2000, 0.1)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].label, "baseline");
+        assert_eq!(merged[0].cases[0].1, render_case(&case("alpha", 2000, 0.5)));
+        assert_eq!(merged[1].label, "current");
+        assert_eq!(merged[1].cases.len(), 2);
+    }
+
+    #[test]
+    fn labels_with_quotes_and_backslashes_round_trip() {
+        let mut runs = Vec::new();
+        merge_results(&mut runs, r#"odd "label" with \ chars"#, &[case("a", 2000, 0.5)]);
+        let doc = render_document(2000, 5, &runs);
+        let parsed = parse_runs(&doc);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].label, r#"odd "label" with \ chars"#);
+    }
 }

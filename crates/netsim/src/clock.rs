@@ -87,6 +87,20 @@ impl DualClock {
         newly_completed
     }
 
+    /// Number of node cycles the *next* [`advance_noc_cycle`](Self::advance_noc_cycle)
+    /// call would return, without advancing anything.
+    ///
+    /// Replicates the float operations of `advance_noc_cycle` in the same
+    /// order (one addition, one multiplication, one truncation), so the
+    /// prediction is bit-exact: the event-horizon skipping engine uses it to
+    /// prove a future tick emits zero node cycles (and therefore draws no
+    /// RNG) before committing to jump over it.
+    pub fn peek_advance(&self) -> u64 {
+        let wall = self.wall_time_ps + self.noc_period_ps;
+        let total_node_cycles = (wall * self.node_cycles_per_ps) as u64;
+        total_node_cycles.saturating_sub(self.node_cycles_emitted)
+    }
+
     /// Ratio `F_node / F_noc`, i.e. how many node cycles fit in one NoC cycle.
     pub fn slowdown_factor(&self) -> f64 {
         self.node_frequency_hz / self.noc_frequency_hz

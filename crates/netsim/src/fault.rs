@@ -327,6 +327,33 @@ impl FaultState {
         self.down_components > 0
     }
 
+    /// Earliest NoC cycle at which a scheduled fault or pending transient
+    /// recovery is due (`u64::MAX` when nothing is pending).
+    ///
+    /// This is the fault schedule's contribution to the event horizon: on a
+    /// cycle strictly before this bound — and with no hazard process drawing
+    /// (see [`hazard_draws_per_cycle`](Self::hazard_draws_per_cycle)) —
+    /// [`tick`](Self::tick) is a pure no-op, so the skipping engine may omit
+    /// the call entirely without changing any fault state.
+    #[inline]
+    pub fn next_scheduled_due(&self) -> u64 {
+        self.next_due
+    }
+
+    /// Whether the hazard process draws from its RNG stream on every tick.
+    ///
+    /// A hazard with any positive rate must be ticked on every single NoC
+    /// cycle to keep its draw order deterministic, which makes the whole
+    /// simulation ineligible for event-horizon skipping. Zero-rate hazards
+    /// (and pure schedules) never touch the RNG.
+    #[inline]
+    pub fn hazard_draws_per_cycle(&self) -> bool {
+        match self.hazard {
+            Some(h) => (h.link_rate > 0.0 && !self.links.is_empty()) || h.router_rate > 0.0,
+            None => false,
+        }
+    }
+
     /// Whether the router at `node` is currently dead.
     #[inline]
     pub fn router_dead(&self, node: usize) -> bool {

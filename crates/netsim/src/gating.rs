@@ -320,6 +320,29 @@ impl GatingController {
         self.states.iter().filter(|s| **s == GateState::Gated).count()
     }
 
+    /// Whether no router is currently in DrainWait. A non-empty DrainWait
+    /// population does per-cycle work (inbound-clear checks on every firing
+    /// island cycle), so the event-horizon engine only skips when this holds.
+    #[inline]
+    pub(crate) fn drain_wait_empty(&self) -> bool {
+        self.drain_wait.is_empty()
+    }
+
+    /// Earliest armed sleep/wake timer of an island, in the island's domain
+    /// cycles (`u64::MAX` when nothing is armed).
+    ///
+    /// Entries are hints — a stale sleep timer (its router woke and re-idled
+    /// meanwhile) may report an earlier due than any real state change. That
+    /// is safe for event-horizon computation: a conservative (too early)
+    /// bound only shortens the jump, and the full step taken at the bound
+    /// pops and re-validates the hint.
+    pub(crate) fn earliest_due(&self, island: usize) -> u64 {
+        let sleep =
+            self.sleep_due[island].peek().map(|&Reverse((due, _))| due).unwrap_or(u64::MAX);
+        let wake = self.wake_due[island].front().map(|&(due, _)| due).unwrap_or(u64::MAX);
+        sleep.min(wake)
+    }
+
     /// Marks a router idle as of `now` (its island's domain cycle) and arms
     /// its sleep timer.
     #[inline]

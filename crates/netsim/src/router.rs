@@ -336,9 +336,11 @@ impl Router {
     ///
     /// # Panics
     ///
-    /// Panics if the flit's VC is out of range or the target buffer is full
-    /// (which would mean the upstream credit accounting is broken).
+    /// Panics if `in_port` or the flit's VC is out of range, or the target
+    /// buffer is full (which would mean the upstream credit accounting is
+    /// broken).
     pub fn accept_flit(&mut self, in_port: usize, flit: Flit) {
+        assert!(in_port < PORT_COUNT, "flit arrived on unknown input port {in_port}");
         let vc = flit.vc();
         assert!(vc < self.vcs, "flit arrived on unknown VC {vc}");
         let input = &mut self.inputs[in_port * self.vcs + vc];
@@ -368,7 +370,12 @@ impl Router {
 
     /// Accepts a credit for output (`out_port`, `vc`): the downstream router
     /// freed one buffer slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_port` or `vc` is out of range.
     pub fn accept_credit(&mut self, out_port: usize, vc: usize) {
+        assert!(out_port < PORT_COUNT, "credit for unknown output port {out_port}");
         assert!(vc < self.vcs, "credit for unknown VC {vc}");
         self.outputs[out_port * self.vcs + vc].credits += 1;
     }
@@ -1013,5 +1020,280 @@ mod tests {
             ports.extend(step(&mut router, &mesh, &routing).outgoing.iter().map(|o| o.out_port));
         }
         assert!(ports.contains(&Direction::West.index()), "second packet routed west");
+    }
+
+    // ----- mixed-class escape re-entry deadlock regression ------------------
+    //
+    // Four routers of a 4x4 mesh (nodes 5, 6, 9, 10) with a hand-armed
+    // four-packet wait cycle that mixes the escape and adaptive VC classes.
+    // Two links are faulted (5->West and 10->East), each sending one escape
+    // packet back into the adaptive class:
+    //
+    //   P (escape, holds the 6->5 escape VC,   waits on 5's South adaptive
+    //      escape hop West faulted)            VC, held by
+    //   Q (adaptive, holds the 5->9 adaptive   waits on 9's East escape VC
+    //      VC)                                 (Duato fallback), held by
+    //   Z (escape, holds the 9->10 escape VC,  waits on 10's North adaptive
+    //      escape hop East faulted)            VC, held by
+    //   V (adaptive, holds the 10->6 adaptive  waits on 6's West escape VC
+    //      VC)                                 (Duato fallback), held by P.
+    //
+    // Every held VC belongs to a wormhole whose tail is still upstream, so
+    // nothing releases: a genuine cycle of packet-held channel waits, closed
+    // by the two faulted-escape re-entries. With the pre-fix unrestricted
+    // rule, P and Z wait on *full* adaptive VCs held by cycle members and
+    // nothing ever moves again — even though free adaptive VCs (5's North,
+    // 10's South) exist the whole time. With the restricted rule both take a
+    // free detour instead of waiting, and the cycle unwinds.
+
+    use crate::routing::MinimalAdaptive;
+
+    fn adaptive_config() -> NetworkConfig {
+        NetworkConfig::builder()
+            .mesh(4, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(6)
+            .routing(crate::routing::RoutingKind::MinimalAdaptive)
+            .build()
+            .unwrap()
+    }
+
+    struct CycleHarness {
+        topo: Topology,
+        nodes: [usize; 4], // 5, 6, 9, 10
+        routers: Vec<Router>,
+        /// Faulted output ports per harness router (parallel to `nodes`).
+        blocked: [u8; 4],
+    }
+
+    impl CycleHarness {
+        fn new() -> Self {
+            let cfg = adaptive_config();
+            let topo = Topology::mesh(4, 4);
+            let nodes = [5usize, 6, 9, 10];
+            let routers = nodes
+                .iter()
+                .map(|&n| {
+                    let mut r = Router::new(n, &cfg);
+                    r.split_vc_classes();
+                    r
+                })
+                .collect();
+            // The two faulted escape hops that send P (at 5, westwards) and
+            // Z (at 10, eastwards) back into the adaptive class.
+            let mut blocked = [0u8; 4];
+            blocked[0] = 1u8 << Direction::West.index();
+            blocked[3] = 1u8 << Direction::East.index();
+            CycleHarness { topo, nodes, routers, blocked }
+        }
+
+        fn idx(&self, node: usize) -> Option<usize> {
+            self.nodes.iter().position(|&n| n == node)
+        }
+
+        fn feed(&mut self, node: usize, port: Direction, vc: u8, mut flit: Flit) {
+            flit.vc = vc;
+            let i = self.idx(node).unwrap();
+            self.routers[i].accept_flit(port.index(), flit);
+        }
+
+        /// Steps one router `cycles` times without delivering anything,
+        /// returning every flit it emitted (the caller stashes or voids them).
+        fn pump(&mut self, node: usize, routing: &MinimalAdaptive, cycles: usize) -> Vec<OutgoingFlit> {
+            let i = self.idx(node).unwrap();
+            let mut emitted = Vec::new();
+            for _ in 0..cycles {
+                let mut out = TraversalOutput::default();
+                self.routers[i].sa_st_stage(&mut out);
+                self.routers[i].va_stage();
+                self.routers[i].rc_stage_blocked(&self.topo, routing, self.blocked[i]);
+                emitted.extend(out.outgoing);
+                assert!(out.ejected.is_empty(), "harness packets never eject");
+            }
+            emitted
+        }
+
+        /// Steps every router once, then delivers flits and credits between
+        /// harness routers (links leaving the harness are voided). Returns
+        /// (flits moved anywhere, flits that left the harness at node 5's
+        /// North port — the detour drain the restricted rule opens).
+        fn step_all(&mut self, routing: &MinimalAdaptive) -> (u64, u64) {
+            let mut outs = Vec::new();
+            for i in 0..self.routers.len() {
+                let mut out = TraversalOutput::default();
+                self.routers[i].sa_st_stage(&mut out);
+                self.routers[i].va_stage();
+                self.routers[i].rc_stage_blocked(&self.topo, routing, self.blocked[i]);
+                outs.push(out);
+            }
+            let mut moved = 0u64;
+            let mut north_drained = 0u64;
+            for (i, out) in outs.into_iter().enumerate() {
+                let node = self.nodes[i];
+                moved += out.outgoing.len() as u64 + out.ejected.len() as u64;
+                for og in out.outgoing {
+                    let dir = Direction::from_index(og.out_port);
+                    let nbr = self.topo.neighbor(node, dir);
+                    match nbr.and_then(|n| self.idx(n)) {
+                        Some(j) => self.routers[j].accept_flit(dir.opposite().index(), og.flit),
+                        None => {
+                            // Links leaving the harness drain into an
+                            // infinite sink: the flit is voided and its
+                            // credit comes straight back.
+                            self.routers[i].accept_credit(og.out_port, og.flit.vc as usize);
+                            if node == 5 && dir == Direction::North {
+                                north_drained += 1;
+                            }
+                        }
+                    }
+                }
+                for cr in out.credits {
+                    if cr.in_port == LOCAL_PORT {
+                        continue;
+                    }
+                    let dir = Direction::from_index(cr.in_port);
+                    if let Some(j) = self.topo.neighbor(node, dir).and_then(|n| self.idx(n)) {
+                        self.routers[j].accept_credit(dir.opposite().index(), cr.vc);
+                    }
+                }
+            }
+            (moved, north_drained)
+        }
+
+        fn buffered(&self) -> usize {
+            self.routers.iter().map(|r| r.buffered_flits()).sum()
+        }
+    }
+
+    /// Builds the armed cycle described above. Wormhole tails are withheld
+    /// upstream of the harness, so every held VC stays allocated until the
+    /// test delivers more flits — exactly the backpressured steady state the
+    /// deadlock needs.
+    fn armed_cycle(routing: &MinimalAdaptive) -> CycleHarness {
+        let mut h = CycleHarness::new();
+
+        // Void fillers: each pins one adaptive VC (the head is emitted once
+        // and then dropped — never delivered anywhere — while the tail never
+        // arrives, so the allocation never releases). They steer every cycle
+        // member onto the exact VC the cycle needs:
+        //   5's East  adaptive VC full -> Q picks South at node 5;
+        //   9's East  adaptive VC full -> Q falls back to escape at node 9;
+        //   6's West  adaptive VC full -> V falls back to escape at node 6;
+        //  10's West  adaptive VC full -> V picks North at node 10.
+        for (id, node, dst, dir) in [
+            (90, 5usize, 7usize, Direction::East),
+            (91, 9, 11, Direction::East),
+            (92, 6, 4, Direction::West),
+            (93, 10, 8, Direction::West),
+        ] {
+            let f = Flit::packet(PacketId::new(id), node, dst, 6, 0, 0.0);
+            h.feed(node, Direction::Local, 1, f[0]);
+            let out = h.pump(node, routing, 4);
+            assert_eq!(out.len(), 1, "filler head leaves node {node}");
+            assert_eq!(out[0].out_port, dir.index(), "filler at node {node} pins {dir:?}");
+        }
+
+        // P: escape-class wormhole entering node 5 westwards through node 6.
+        // Its head will find 5's escape hop (West) faulted. Four flits cross
+        // to node 5 (exhausting 6's West escape credits); the last body and
+        // the tail stay buffered in 6 behind the credit starvation.
+        let p = Flit::packet(PacketId::new(1), 7, 8, 6, 0, 0.0);
+        for flit in &p[0..4] {
+            h.feed(6, Direction::East, 0, *flit);
+        }
+        let stash_p = h.pump(6, routing, 10);
+        assert_eq!(stash_p.len(), 4, "P's head and three bodies cross to node 5");
+        assert!(stash_p.iter().all(|o| o.out_port == Direction::West.index()));
+        h.feed(6, Direction::East, 0, p[4]);
+        h.feed(6, Direction::East, 0, p[5]);
+        assert!(h.pump(6, routing, 4).is_empty(), "no credits left on 6's West escape VC");
+
+        // Q: adaptive-class wormhole through node 5 southwards to node 9
+        // (holds 5's South adaptive VC — the one P will wait on).
+        let q = Flit::packet(PacketId::new(2), 1, 11, 6, 0, 0.0);
+        h.feed(5, Direction::North, 1, q[0]);
+        let mut stash_q = h.pump(5, routing, 4);
+        h.feed(5, Direction::North, 1, q[1]);
+        stash_q.extend(h.pump(5, routing, 4));
+        assert_eq!(stash_q.len(), 2, "Q's head and body cross to node 9");
+        assert!(stash_q.iter().all(|o| o.out_port == Direction::South.index()));
+
+        // Z: escape-class wormhole through node 9 eastwards to node 10
+        // (holds 9's East escape VC — the one Q will wait on). Its head will
+        // find 10's escape hop (East) faulted.
+        let z = Flit::packet(PacketId::new(3), 8, 3, 6, 0, 0.0);
+        h.feed(9, Direction::West, 0, z[0]);
+        let mut stash_z = h.pump(9, routing, 4);
+        h.feed(9, Direction::West, 0, z[1]);
+        stash_z.extend(h.pump(9, routing, 4));
+        assert_eq!(stash_z.len(), 2, "Z's head and body cross to node 10");
+        assert!(stash_z.iter().all(|o| o.out_port == Direction::East.index()));
+
+        // V: adaptive-class wormhole through node 10 northwards to node 6
+        // (holds 10's North adaptive VC — the one Z will wait on).
+        let v = Flit::packet(PacketId::new(4), 14, 4, 6, 0, 0.0);
+        h.feed(10, Direction::South, 1, v[0]);
+        let mut stash_v = h.pump(10, routing, 4);
+        h.feed(10, Direction::South, 1, v[1]);
+        stash_v.extend(h.pump(10, routing, 4));
+        assert_eq!(stash_v.len(), 2, "V's head and body cross to node 6");
+        assert!(stash_v.iter().all(|o| o.out_port == Direction::North.index()));
+
+        // Arm: deliver every stashed flit at once, closing the cycle.
+        for o in stash_p {
+            h.feed(5, Direction::East, o.flit.vc, o.flit);
+        }
+        for o in stash_q {
+            h.feed(9, Direction::North, o.flit.vc, o.flit);
+        }
+        for o in stash_z {
+            h.feed(10, Direction::West, o.flit.vc, o.flit);
+        }
+        for o in stash_v {
+            h.feed(6, Direction::South, o.flit.vc, o.flit);
+        }
+        h
+    }
+
+    #[test]
+    fn unrestricted_escape_reentry_deadlocks_on_a_mixed_class_cycle() {
+        // Pre-fix behaviour: P and Z re-enter the adaptive class at their
+        // faulted escape hops and wait on *full* adaptive VCs held by other
+        // cycle members. The four packets wait on each other in a cycle and
+        // nothing ever moves again, even though free adaptive VCs (5's North,
+        // 10's South) exist the whole time.
+        let routing = MinimalAdaptive::with_unrestricted_reentry();
+        let mut h = armed_cycle(&routing);
+        let before = h.buffered();
+        let mut moved = 0u64;
+        for _ in 0..300 {
+            moved += h.step_all(&routing).0;
+        }
+        assert_eq!(moved, 0, "the mixed-class cycle must deadlock under unrestricted re-entry");
+        assert_eq!(h.buffered(), before, "every flit is frozen in place");
+    }
+
+    #[test]
+    fn restricted_reentry_escapes_the_mixed_class_cycle() {
+        // Post-fix behaviour: a re-entering packet may only *take* a free
+        // adaptive VC, never wait on a full one, so P detours through 5's
+        // free North VC (and Z through 10's free South VC) and the cycle
+        // unwinds behind it: P's tail releases 6's West escape VC, V crosses
+        // to node 5 and follows P's detour out through the North port.
+        let routing = MinimalAdaptive::new();
+        let mut h = armed_cycle(&routing);
+        let mut moved = 0u64;
+        let mut drained = 0u64;
+        for _ in 0..300 {
+            let (m, d) = h.step_all(&routing);
+            moved += m;
+            drained += d;
+        }
+        assert!(moved > 0, "restricted re-entry must keep the network moving");
+        assert!(
+            drained >= 6,
+            "P's whole wormhole (and V behind it) drains through the North detour, got {drained}"
+        );
     }
 }

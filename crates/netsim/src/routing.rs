@@ -306,9 +306,18 @@ fn mesh_xy(topo: &Topology, current: usize, dst: usize) -> Direction {
 /// through the escape network and deadlock it. The single exception is a
 /// *faulted* escape hop: strict stickiness would strand the packet at a
 /// permanent fault, so there (and only there) it re-enters the adaptive
-/// class. This re-entry edge is the one residual hole in the deadlock
-/// argument; it exists solely while a fault fence is up, and the storm
-/// liveness tests in `tests/fault_invariants.rs` exercise it empirically.
+/// class. Re-entry is **restricted**: the packet only leaves the escape
+/// class for a port with a currently *free* adaptive VC (minimal ports
+/// first, then detours); when every candidate's adaptive VCs are full it
+/// stays committed to the faulted escape port and re-selects next cycle.
+/// A re-entering packet therefore *takes* adaptive resources but never
+/// *waits* on an adaptive holder while itself holding escape channels —
+/// the wait edge that used to let a mixed-class cycle close (an earlier
+/// revision fell through to the unrestricted adaptive selection and could
+/// park an escape holder on a full adaptive VC; that hole is pinned by the
+/// regression tests and by
+/// [`with_unrestricted_reentry`](MinimalAdaptive::with_unrestricted_reentry),
+/// which preserves the old behaviour for demonstration).
 ///
 /// Port choice at each hop, in order:
 /// 1. a packet already on the escape class continues on the escape (mesh-XY)
@@ -334,13 +343,26 @@ fn mesh_xy(topo: &Topology, current: usize, dst: usize) -> Direction {
 /// faults but does not search its way out of dead-end corridors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinimalAdaptive {
-    _private: (),
+    /// `true` → pre-fix fault re-entry: a packet leaving a faulted escape
+    /// hop falls through to the unrestricted adaptive selection and may
+    /// wait on a full adaptive VC (the mixed-class wait edge).
+    unrestricted_reentry: bool,
 }
 
 impl MinimalAdaptive {
     /// Creates the minimal-adaptive routing function.
     pub fn new() -> Self {
-        MinimalAdaptive { _private: () }
+        MinimalAdaptive { unrestricted_reentry: false }
+    }
+
+    /// The pre-fix fault re-entry semantics: a packet whose escape hop is
+    /// faulted re-enters the adaptive class unconditionally, including the
+    /// "wait on a full adaptive VC" step — the wait edge that lets a
+    /// mixed-class cycle close. Retained **only** so the regression suite
+    /// can demonstrate the deadlock the restricted re-entry rule closes;
+    /// never use this in a real configuration.
+    pub fn with_unrestricted_reentry() -> Self {
+        MinimalAdaptive { unrestricted_reentry: true }
     }
 
     /// The torus-aware minimal direction along each still-uncorrected
@@ -400,6 +422,32 @@ impl RoutingAlgorithm for MinimalAdaptive {
         let usable = |dir: Direction| {
             blocked & (1u8 << dir.index()) == 0 && topo.neighbor(current, dir).is_some()
         };
+        // Non-minimal detour: closest-to-destination unblocked port, never a
+        // U-turn. The reverse of the escape direction ranks behind the two
+        // perpendicular ports at equal distance — walking *around* a fault
+        // beats backing away from it, which tends to orbit the fault region
+        // forever. Remaining ties break on port order (N < E < S < W).
+        // `require_free` additionally demands a free adaptive VC (the
+        // restricted re-entry rule).
+        let detour = |require_free: bool| -> Option<Direction> {
+            let reverse = escape.opposite();
+            let mut best: Option<(usize, bool, Direction)> = None;
+            for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+                if dir == escape || dir.index() == in_port || !usable(dir) {
+                    continue;
+                }
+                if require_free && adaptive_full & (1u8 << dir.index()) != 0 {
+                    continue;
+                }
+                let nbr = topo.neighbor(current, dir).expect("usable port has a neighbor");
+                let dist = topo.hop_distance(nbr, dst);
+                let backs_away = dir == reverse;
+                if best.is_none_or(|(d, b, _)| (dist, backs_away) < (d, b)) {
+                    best = Some((dist, backs_away, dir));
+                }
+            }
+            best.map(|(_, _, dir)| dir)
+        };
         // Sticky escape: a packet on an escape channel continues on the
         // escape network, whatever the congestion — only a *faulted* escape
         // hop sends it back into the adaptive class (see the type docs).
@@ -415,6 +463,19 @@ impl RoutingAlgorithm for MinimalAdaptive {
             if usable(dir) && adaptive_full & (1u8 << dir.index()) == 0 {
                 return (dir, 1);
             }
+        }
+        if on_escape && !self.unrestricted_reentry {
+            // Restricted re-entry (the deadlock fix): this packet holds
+            // escape channels upstream, so it may only *take* a free
+            // adaptive VC (a detour counts), never *wait* on a full one —
+            // that wait edge closes mixed-class cycles. With every adaptive
+            // candidate full it stays committed to the faulted escape port;
+            // the header re-selects every cycle, so it re-enters the moment
+            // a VC frees (or the fence drops on a transient fault).
+            if let Some(dir) = detour(true) {
+                return (dir, 1);
+            }
+            return (escape, 0);
         }
         // All adaptive minimal VCs busy: offer the escape channel — the
         // fallback Duato's deadlock argument requires every blocked header
@@ -433,26 +494,8 @@ impl RoutingAlgorithm for MinimalAdaptive {
                 return (dir, 1);
             }
         }
-        // Non-minimal detour: closest-to-destination unblocked port, never a
-        // U-turn. The reverse of the escape direction ranks behind the two
-        // perpendicular ports at equal distance — walking *around* a fault
-        // beats backing away from it, which tends to orbit the fault region
-        // forever. Remaining ties break on port order (N < E < S < W).
-        let reverse = escape.opposite();
-        let mut best: Option<(usize, bool, Direction)> = None;
-        for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
-            if dir == escape || dir.index() == in_port || !usable(dir) {
-                continue;
-            }
-            let nbr = topo.neighbor(current, dir).expect("usable port has a neighbor");
-            let dist = topo.hop_distance(nbr, dst);
-            let backs_away = dir == reverse;
-            if best.is_none_or(|(d, b, _)| (dist, backs_away) < (d, b)) {
-                best = Some((dist, backs_away, dir));
-            }
-        }
-        match best {
-            Some((_, _, dir)) => (dir, 1),
+        match detour(false) {
+            Some(dir) => (dir, 1),
             // Fully blocked: commit to the escape port and wait (or strand).
             None => (escape, 0),
         }

@@ -214,6 +214,32 @@ pub trait TrafficSpec: Debug + Send {
     ///
     /// Returns the destination node if a packet is generated.
     fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize>;
+
+    /// Number of consecutive node cycles, starting at the absolute node cycle
+    /// `from_node_cycle`, for which [`maybe_generate`](Self::maybe_generate)
+    /// is guaranteed to return `None` **and** draw nothing from the RNG, for
+    /// every node.
+    ///
+    /// This is the traffic side of the event-horizon skipping contract: the
+    /// simulation may replace the per-node `maybe_generate` calls of a node
+    /// cycle inside this span with one [`skip_node_cycles`](Self::skip_node_cycles)
+    /// call. Returning `0` (the default) declares the source never provably
+    /// silent and disables generation skipping; `u64::MAX` means silent
+    /// forever. Implementations must be conservative — claiming silence for a
+    /// cycle that would have drawn or generated breaks bit-identity with the
+    /// non-skipping engine.
+    fn silent_node_cycles(&self, from_node_cycle: u64) -> u64 {
+        let _ = from_node_cycle;
+        0
+    }
+
+    /// Informs the source that `node_cycles` node cycles it declared silent
+    /// via [`silent_node_cycles`](Self::silent_node_cycles) elapsed without
+    /// per-node `maybe_generate` calls. Stateful sources advance their
+    /// internal position here; memoryless sources need no action (default).
+    fn skip_node_cycles(&mut self, node_cycles: u64) {
+        let _ = node_cycles;
+    }
 }
 
 /// Bernoulli packet injection following one of the synthetic
@@ -267,10 +293,24 @@ impl TrafficSpec for SyntheticTraffic {
     }
 
     fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+        // A zero-rate source draws nothing: the draw could never succeed, and
+        // skipping it keeps the RNG stream identical whether the engine steps
+        // through the cycle or jumps over it (see `silent_node_cycles`).
+        if self.packet_probability <= 0.0 {
+            return None;
+        }
         if rng.gen_bool(self.packet_probability) {
             self.pattern.destination(src, topo, rng)
         } else {
             None
+        }
+    }
+
+    fn silent_node_cycles(&self, _from_node_cycle: u64) -> u64 {
+        if self.packet_probability <= 0.0 {
+            u64::MAX
+        } else {
+            0
         }
     }
 }
@@ -402,6 +442,17 @@ impl TrafficSpec for BurstyTraffic {
             None
         }
     }
+
+    fn silent_node_cycles(&self, _from_node_cycle: u64) -> u64 {
+        // The Markov chains advance (and draw) every node cycle whenever the
+        // rate is positive, so only the degenerate zero-rate source — which
+        // early-outs before touching the RNG — is ever provably silent.
+        if self.injection_rate <= 0.0 {
+            u64::MAX
+        } else {
+            0
+        }
+    }
 }
 
 /// Traffic described by a full source→destination rate matrix, used for the
@@ -507,6 +558,16 @@ impl TrafficSpec for MatrixTraffic {
             pick -= r;
         }
         None
+    }
+
+    fn silent_node_cycles(&self, _from_node_cycle: u64) -> u64 {
+        // Each node with a non-zero row draws once per node cycle; only an
+        // all-zero matrix is provably silent.
+        if self.row_totals.iter().all(|&t| t <= 0.0) {
+            u64::MAX
+        } else {
+            0
+        }
     }
 }
 

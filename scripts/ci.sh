@@ -27,6 +27,21 @@ PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q
 echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants (dense reference loop)"
 NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants
 
+# Event-horizon cycle-skipping is on by default, so the main test pass above
+# already exercises it; the base-tick (non-skipping) path is the reference
+# that must never rot. NOC_NO_SKIP=1 forces every simulation onto per-tick
+# stepping and re-runs the determinism goldens plus the skip/no-skip and
+# subsystem differentials — the golden windows are skip-independent by
+# contract. NOC_SWEEP_THREADS=1 does the same for per-island parallel
+# stepping: the threaded path clamps to the serial step, pinning that the
+# serial reference still matches the goldens the parity tests compare
+# against.
+echo "==> NOC_NO_SKIP=1 cargo test -q --test determinism --test sparse_equivalence (base-tick reference path)"
+NOC_NO_SKIP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence
+
+echo "==> NOC_SWEEP_THREADS=1 cargo test -q --test determinism --test sparse_equivalence (serial island stepping)"
+NOC_SWEEP_THREADS=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence
+
 # Documentation is part of the contract: every public item is documented
 # (#![warn(missing_docs)] + clippy -D warnings below), rustdoc links must
 # resolve, and the runnable examples in the docs must stay green.

@@ -16,10 +16,20 @@
 //! 3. **RNG-stream identity** — the `step()` short-circuit for NoC cycles in
 //!    which zero node cycles complete performs zero RNG draws, so runs where
 //!    the NoC outpaces the node clock stay bit-identical too.
+//! 4. **Event-horizon skipping** — jumping the clock over quiescent spans
+//!    ([`NocSimulation::set_event_skipping`], `NOC_NO_SKIP=1` in CI) is a
+//!    pure scheduling optimization too: randomized differentials across
+//!    gating × faults × islands × bursty injection (including a
+//!    quiescent-then-burst source that forces long horizon jumps) pin it
+//!    bit-identical to base-tick stepping.
+//! 5. **Island-thread parity** — per-island parallel stepping
+//!    ([`NocSimulation::run_cycles_with_workers`], `NOC_SWEEP_THREADS`) is
+//!    pinned bit-identical to the serial step on the golden scenarios.
 
 use noc_sim::{
-    BurstyTraffic, Hertz, NetworkConfig, NocSimulation, SyntheticTraffic, Topology, TopologyKind,
-    TrafficPattern, TrafficSpec,
+    BurstyTraffic, FaultConfig, GatingConfig, HazardConfig, Hertz, NetworkConfig, NocSimulation,
+    RegionLayout, RoutingKind, SyntheticTraffic, Topology, TopologyKind, TrafficPattern,
+    TrafficSpec,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -302,4 +312,215 @@ fn zero_node_cycle_short_circuit_preserves_the_rng_stream() {
     assert!(node_cycles < noc_cycles / 2, "node clock must lag the NoC clock");
     assert!(windows.iter().map(|w| w.flits_ejected).sum::<u64>() > 0);
     assert_eq!(sparse.stats(), dense.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Event-horizon skipping differentials
+// ---------------------------------------------------------------------------
+
+/// A 4×4 mesh exercising the chosen subsystem combination: power gating,
+/// a transient-fault hazard with adaptive routing, and/or quadrant
+/// voltage-frequency islands.
+fn subsystem_cfg(gated: bool, faulted: bool, islands: bool) -> NetworkConfig {
+    let mut b = NetworkConfig::builder().mesh(4, 4).virtual_channels(2).buffer_depth(4).packet_length(4);
+    if gated {
+        b = b.gating(GatingConfig::enabled(24, 8));
+    }
+    if faulted {
+        b = b.routing(RoutingKind::MinimalAdaptive).faults(FaultConfig::none().with_hazard(
+            HazardConfig {
+                link_rate: 2e-4,
+                router_rate: 1e-4,
+                transient_fraction: 1.0,
+                transient_duration: 120,
+            },
+        ));
+    }
+    if islands {
+        b = b.regions(RegionLayout::Quadrants);
+    }
+    b.build().expect("subsystem combinations are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Event-horizon skipping is bit-identical to base-tick stepping across
+    /// every subsystem combination: gating (sleep/wake due-heaps), a fault
+    /// hazard (next-event draws), voltage-frequency islands (clock
+    /// dividers, optionally detuned mid-run) and bursty injection.
+    #[test]
+    fn event_skipping_is_bit_identical_across_subsystems(
+        gated in prop_oneof![Just(false), Just(true)],
+        faulted in prop_oneof![Just(false), Just(true)],
+        islands in prop_oneof![Just(false), Just(true)],
+        bursty in prop_oneof![Just(false), Just(true)],
+        rate in 0.0f64..0.3,
+        seed in 0u64..1_000_000,
+        chunk in 80u64..320,
+    ) {
+        let cfg = subsystem_cfg(gated, faulted, islands);
+        let mk = || scenario_traffic(TrafficPattern::Uniform, rate, 4, bursty);
+        let mut skipping = NocSimulation::new(cfg.clone(), mk(), seed);
+        let mut stepping = NocSimulation::new(cfg.clone(), mk(), seed);
+        skipping.set_event_skipping(true);
+        stepping.set_event_skipping(false);
+        if islands {
+            // A detuned island keeps the divider wheels busy across jumps.
+            skipping.set_island_frequency(2, Hertz::from_mhz(400.0));
+            stepping.set_island_frequency(2, Hertz::from_mhz(400.0));
+        }
+        let chunks = [chunk, 2 * chunk, chunk / 2 + 1, chunk + 37, chunk];
+        let ws = window_sequence(&mut skipping, &chunks);
+        let wn = window_sequence(&mut stepping, &chunks);
+        prop_assert_eq!(ws, wn, "windows diverged (gated={} faulted={} islands={} bursty={} seed={})",
+            gated, faulted, islands, bursty, seed);
+        prop_assert_eq!(skipping.stats(), stepping.stats());
+        prop_assert_eq!(skipping.total_packets_delivered(), stepping.total_packets_delivered());
+        prop_assert_eq!(skipping.buffered_network_flits(), stepping.buffered_network_flits());
+        prop_assert_eq!(skipping.in_flight_flits(), stepping.in_flight_flits());
+        prop_assert_eq!(skipping.in_flight_credits(), stepping.in_flight_credits());
+        prop_assert_eq!(stepping.skipped_cycle_count(), 0, "disabled skipping must not skip");
+    }
+
+    /// Quiescent-then-burst traffic through both engines: the long silent
+    /// prelude must be jumped (not stepped), and the burst must land on the
+    /// exact same cycle with the exact same RNG stream.
+    #[test]
+    fn quiescent_then_burst_jumps_the_horizon_bit_identically(
+        gated in prop_oneof![Just(false), Just(true)],
+        silence in 500u64..3_000,
+        burst in 100u64..400,
+        rate in 0.2f64..0.8,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = subsystem_cfg(gated, false, false);
+        let mk = || Box::new(QuiescentThenBurst {
+            burst_start: silence,
+            burst_end: silence + burst,
+            rate,
+            packet_length: 4,
+            cycle: 0,
+        });
+        let mut skipping = NocSimulation::new(cfg.clone(), mk(), seed);
+        let mut stepping = NocSimulation::new(cfg.clone(), mk(), seed);
+        skipping.set_event_skipping(true);
+        stepping.set_event_skipping(false);
+        // One window across the silence, one across the burst, one to drain.
+        let chunks = [silence, burst, 1_000];
+        for &cycles in &chunks {
+            skipping.run_cycles(cycles);
+            stepping.run_cycles(cycles);
+            prop_assert_eq!(skipping.take_window(), stepping.take_window());
+        }
+        prop_assert_eq!(skipping.stats(), stepping.stats());
+        prop_assert!(
+            skipping.total_packets_delivered() > 0,
+            "the burst must inject traffic (rate {rate})"
+        );
+        // The silent prelude really was jumped, not stepped. (Under
+        // NOC_DENSE_STEP=1 the dense reference loop is selected and skipping
+        // never applies — the bit-identity checks above still hold, but the
+        // jump itself only happens on the sparse engine.)
+        if !skipping.dense_stepping() {
+            prop_assert!(
+                skipping.skipped_cycle_count() >= silence / 2,
+                "expected a long horizon jump over {} silent cycles, skipped only {}",
+                silence, skipping.skipped_cycle_count()
+            );
+        }
+    }
+}
+
+/// Traffic that is provably silent until `burst_start` node cycles, offers
+/// Bernoulli uniform load until `burst_end`, then goes silent forever —
+/// the event-horizon contract's stateful-source shape
+/// ([`TrafficSpec::silent_node_cycles`] / [`TrafficSpec::skip_node_cycles`]).
+#[derive(Debug)]
+struct QuiescentThenBurst {
+    burst_start: u64,
+    burst_end: u64,
+    rate: f64,
+    packet_length: usize,
+    /// Current node cycle, advanced by full `maybe_generate` sweeps and by
+    /// [`TrafficSpec::skip_node_cycles`].
+    cycle: u64,
+}
+
+impl TrafficSpec for QuiescentThenBurst {
+    fn packet_length(&self) -> usize {
+        self.packet_length
+    }
+    fn offered_load(&self) -> f64 {
+        self.rate
+    }
+    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+        let active = self.cycle >= self.burst_start && self.cycle < self.burst_end;
+        if src + 1 == topo.node_count() {
+            self.cycle += 1;
+        }
+        if !active {
+            return None;
+        }
+        use rand::Rng;
+        if rng.gen_bool((self.rate / self.packet_length as f64).min(1.0)) {
+            TrafficPattern::Uniform.destination(src, topo, rng)
+        } else {
+            None
+        }
+    }
+    fn silent_node_cycles(&self, from_node_cycle: u64) -> u64 {
+        if from_node_cycle >= self.burst_end {
+            u64::MAX
+        } else {
+            self.burst_start.saturating_sub(from_node_cycle)
+        }
+    }
+    fn skip_node_cycles(&mut self, node_cycles: u64) {
+        self.cycle += node_cycles;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-island parallel stepping parity
+// ---------------------------------------------------------------------------
+
+/// Multi-threaded island stepping pinned against the single-threaded golden:
+/// the quadrant scenario stepped serially and with 2 and 4 workers must
+/// produce bit-identical windows, island windows and aggregate stats —
+/// including across a mid-run per-island frequency change.
+#[test]
+fn parallel_island_stepping_matches_the_serial_golden() {
+    let cfg = NetworkConfig::builder()
+        .mesh(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .regions(RegionLayout::Quadrants)
+        .build()
+        .unwrap();
+    let mk = || Box::new(SyntheticTraffic::new(TrafficPattern::Uniform, 0.12, 5));
+    let mut serial = NocSimulation::new(cfg.clone(), mk(), 2015);
+    let mut threaded2 = NocSimulation::new(cfg.clone(), mk(), 2015);
+    let mut threaded4 = NocSimulation::new(cfg.clone(), mk(), 2015);
+    for window in 0..6 {
+        if window == 2 {
+            for sim in [&mut serial, &mut threaded2, &mut threaded4] {
+                sim.set_island_frequency(1, Hertz::from_mhz(500.0));
+            }
+        }
+        serial.run_cycles_with_workers(500, 1);
+        threaded2.run_cycles_with_workers(500, 2);
+        threaded4.run_cycles_with_workers(500, 4);
+        let golden = serial.take_window();
+        assert_eq!(golden, threaded2.take_window(), "2-worker window {window} diverged");
+        assert_eq!(golden, threaded4.take_window(), "4-worker window {window} diverged");
+        let island_golden = serial.take_island_windows();
+        assert_eq!(island_golden, threaded2.take_island_windows());
+        assert_eq!(island_golden, threaded4.take_island_windows());
+    }
+    assert_eq!(serial.stats(), threaded2.stats());
+    assert_eq!(serial.stats(), threaded4.stats());
+    assert_eq!(serial.total_packets_delivered(), threaded4.total_packets_delivered());
+    assert!(serial.total_packets_delivered() > 0, "the golden scenario must carry traffic");
 }
