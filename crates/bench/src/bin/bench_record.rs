@@ -65,6 +65,39 @@ fn time_sim_case(
     }
 }
 
+/// Measures the cost of running *with* periodic checkpointing: the same
+/// 8×8 light-load case as `8x8_mesh_light_load`, but taking (and
+/// serialising) a full [`NocSimulation::snapshot`] every 200 cycles. The
+/// ratio against the plain case is the snapshot overhead a crash-tolerant
+/// sweep pays for resumability.
+fn time_snapshot_case(cycles: u64, repeats: usize) -> CaseResult {
+    let cfg = NetworkConfig::builder().mesh(8, 8).build().unwrap();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.05, cfg.packet_length());
+        let mut sim = NocSimulation::new(cfg.clone(), Box::new(traffic), 1);
+        sim.run_cycles(cycles / 10);
+        let t0 = Instant::now();
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let chunk = remaining.min(200);
+            sim.run_cycles(chunk);
+            remaining -= chunk;
+            std::hint::black_box(sim.snapshot().to_bytes().len());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    CaseResult {
+        name: "8x8_mesh_light_snapshot_every_200".to_string(),
+        cycles,
+        secs: best,
+        cycles_per_sec: cycles as f64 / best,
+    }
+}
+
 fn time_figure_regen(repeats: usize) -> CaseResult {
     let mut best = f64::INFINITY;
     for _ in 0..repeats.max(1) {
@@ -364,6 +397,11 @@ fn main() {
         eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
         results.push(r);
     }
+    if selected("8x8_mesh_light_snapshot_every_200") {
+        let r = time_snapshot_case(cycles, repeats);
+        eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
+        results.push(r);
+    }
     if selected("fig2_regeneration_quick") {
         let fig = time_figure_regen(repeats.min(3));
         eprintln!("{:<35} {:>12.4} s wall-clock", fig.name, fig.secs);
@@ -387,7 +425,10 @@ fn main() {
     merge_results(&mut runs, &label, &results);
 
     let json = render_document(cycles, repeats, &runs);
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    // Atomic replace: a kill mid-write must not shred a tracked perf
+    // trajectory that accumulated across PRs.
+    noc_dvfs::coordinator::write_atomic(std::path::Path::new(&out_path), json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }
 

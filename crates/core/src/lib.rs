@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod closed_loop;
+pub mod coordinator;
 pub mod dmsd;
 pub mod experiments;
 pub mod gating;
@@ -71,6 +72,11 @@ pub mod sweep;
 pub use closed_loop::{
     degraded_mode_report, run_operating_point, ClosedLoopConfig, OperatingPointResult,
 };
+pub use coordinator::{
+    decode_operating_point, encode_operating_point, run_sweep, shard_policy_grid, write_atomic,
+    ChaosConfig, CoordinatorConfig, CoordinatorError, PointContext, PointFailure, PointRunner,
+    SweepReport, WorkUnit,
+};
 pub use dmsd::{Dmsd, DmsdConfig};
 pub use gating::{
     run_operating_point_gated, BreakEvenConfig, CombinedController, GatedOperatingPointResult,
@@ -79,6 +85,7 @@ pub use gating::{
 pub use island::{
     run_operating_point_islands, IslandOperatingPointResult, IslandSummary, MultiIslandController,
 };
+pub use parallel::{par_map, par_try_map, worker_threads, PointPanic};
 pub use pi::PiController;
 pub use policy::{ControlMeasurement, DvfsPolicy, NoDvfs, PolicyKind};
 pub use rmsd::{Rmsd, RmsdConfig};

@@ -15,8 +15,28 @@
 //! environment variable when set (`1` forces serial execution, useful for
 //! parity checks), otherwise `std::thread::available_parallelism`.
 
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A panic caught while computing one point of a parallel map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointPanic {
+    /// Input index of the point whose closure panicked.
+    pub index: usize,
+    /// The panic message (`"<non-string payload>"` when the payload is not
+    /// a string).
+    pub message: String,
+}
+
+impl std::fmt::Display for PointPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PointPanic {}
 
 /// Number of worker threads a parallel sweep will use.
 ///
@@ -39,44 +59,93 @@ pub fn worker_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates panics from `f` — but only after the **whole** grid has been
+/// computed: a panicking point no longer takes down (or poisons) the other
+/// workers mid-sweep, so every finished point's side effects (journal
+/// appends, logs) land before the panic resurfaces. When several points
+/// panic, the lowest-index payload is rethrown, deterministically. Use
+/// [`par_try_map`] to receive panics as per-point errors instead.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    par_map_with_workers(items, worker_threads(), f)
+    let caught = par_catch_with_workers(items, worker_threads(), f);
+    let mut out = Vec::with_capacity(caught.len());
+    for result in caught {
+        match result {
+            Ok(value) => out.push(value),
+            Err((payload, _)) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
 }
 
-/// [`par_map`] with an explicit worker count (testing hook; `par_map` derives
-/// the count from the environment via [`worker_threads`]).
-fn par_map_with_workers<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+/// The panic-isolating variant of [`par_map`]: every point where `f`
+/// panicked comes back as `Err(PointPanic)` while the rest of the grid
+/// completes normally. Results stay in input order.
+pub fn par_try_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U, PointPanic>>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_catch_with_workers(items, worker_threads(), f)
+        .into_iter()
+        .enumerate()
+        .map(|(index, result)| {
+            result.map_err(|(_, message)| PointPanic { index, message })
+        })
+        .collect()
+}
+
+/// A caught per-point panic in transit: the raw payload (so [`par_map`] can
+/// rethrow it unchanged) plus a rendered message.
+type CaughtPanic = (Box<dyn Any + Send>, String);
+
+/// Shared engine of [`par_map`]/[`par_try_map`] with an explicit worker
+/// count (testing hook). Each point runs under `catch_unwind`.
+fn par_catch_with_workers<T, U, F>(
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Vec<Result<U, CaughtPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let run_point = |index: usize| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(index, &items[index]))).map_err(|payload| {
+            // `&*payload`: reborrow through the Box, or the Box itself (also
+            // `Any`) would be what gets downcast.
+            let message = panic_message(&*payload);
+            (payload, message)
+        })
+    };
+
     let workers = workers.min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return (0..items.len()).map(run_point).collect();
     }
 
     // Dynamic work distribution: each worker repeatedly claims the next
     // unprocessed index. Results are collected per worker with their indices
     // and spliced back into input order afterwards.
     let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    type Caught<U> = Result<U, CaughtPanic>;
+    let collected: Mutex<Vec<(usize, Caught<U>)>> = Mutex::new(Vec::with_capacity(items.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut local: Vec<(usize, U)> = Vec::new();
+                let mut local: Vec<(usize, Caught<U>)> = Vec::new();
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= items.len() {
                         break;
                     }
-                    local.push((index, f(index, &items[index])));
+                    local.push((index, run_point(index)));
                 }
                 collected.lock().expect("no poisoned worker").extend(local);
             });
@@ -87,6 +156,34 @@ where
     indexed.sort_by_key(|(index, _)| *index);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, value)| value).collect()
+}
+
+/// [`par_map`] with an explicit worker count (kept as the test hook of the
+/// pre-hardening API).
+#[cfg(test)]
+fn par_map_with_workers<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_catch_with_workers(items, workers, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(value) => value,
+            Err((payload, _)) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +222,48 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map(&[42u32], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn a_panicking_point_does_not_lose_the_other_points() {
+        let items: Vec<usize> = (0..24).collect();
+        let out = par_try_map(&items, |_, &x| {
+            if x == 7 || x == 19 {
+                panic!("injected panic at {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), 24);
+        for (i, result) in out.iter().enumerate() {
+            if i == 7 || i == 19 {
+                let err = result.as_ref().unwrap_err();
+                assert_eq!(err.index, i);
+                assert_eq!(err.message, format!("injected panic at {i}"));
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_still_propagates_a_panic_after_the_grid_completes() {
+        let items: Vec<usize> = (0..8).collect();
+        let completed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |_, &x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(caught.is_err(), "the panic must still surface from par_map");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            7,
+            "every healthy point must have completed before the rethrow"
+        );
     }
 
     #[test]

@@ -67,6 +67,43 @@ impl RouterActivity {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl RouterActivity {
+    /// Encodes the counters for a simulation checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_u64(self.buffer_writes);
+        w.put_u64(self.buffer_reads);
+        w.put_u64(self.crossbar_traversals);
+        w.put_u64(self.vc_allocations);
+        w.put_u64(self.switch_allocations);
+        w.put_u64(self.link_flits);
+        w.put_u64(self.ejected_flits);
+        w.put_u64(self.cycles);
+        w.put_u64(self.gated_cycles);
+        w.put_u64(self.sleep_events);
+        w.put_u64(self.wake_events);
+    }
+
+    /// Restores the counters from a checkpoint.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.buffer_writes = r.read_u64()?;
+        self.buffer_reads = r.read_u64()?;
+        self.crossbar_traversals = r.read_u64()?;
+        self.vc_allocations = r.read_u64()?;
+        self.switch_allocations = r.read_u64()?;
+        self.link_flits = r.read_u64()?;
+        self.ejected_flits = r.read_u64()?;
+        self.cycles = r.read_u64()?;
+        self.gated_cycles = r.read_u64()?;
+        self.sleep_events = r.read_u64()?;
+        self.wake_events = r.read_u64()?;
+        Ok(())
+    }
+}
+
 impl Add for RouterActivity {
     type Output = RouterActivity;
     fn add(self, rhs: RouterActivity) -> RouterActivity {

@@ -191,6 +191,35 @@ impl SeparableAllocator {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl SeparableAllocator {
+    /// Encodes the persistent allocator state (the two arbiter banks) for a
+    /// checkpoint. The stage-1/grant buffers are per-round scratch, cleared
+    /// by the stage that fills them, and are not written.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        for arb in &self.input_arbiters {
+            arb.save_state(w);
+        }
+        for arb in &self.output_arbiters {
+            arb.save_state(w);
+        }
+    }
+
+    /// Restores the arbiter banks from a checkpoint.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        for arb in &mut self.input_arbiters {
+            arb.load_state(r)?;
+        }
+        for arb in &mut self.output_arbiters {
+            arb.load_state(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,28 @@ impl RoundRobinArbiter {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl RoundRobinArbiter {
+    /// Encodes the priority pointer (the arbiter's only mutable state) for a
+    /// checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.next_priority);
+    }
+
+    /// Restores the priority pointer from a checkpoint.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let next = r.read_usize()?;
+        if next >= self.size {
+            return Err(crate::snapshot::SnapshotError::Corrupt("arbiter priority"));
+        }
+        self.next_priority = next;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

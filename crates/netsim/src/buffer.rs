@@ -83,6 +83,41 @@ impl VcBuffer {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl VcBuffer {
+    /// Encodes the buffered flits and the sticky peak-occupancy diagnostic.
+    /// Capacity is configuration and is not written.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.slots.len());
+        for flit in &self.slots {
+            flit.save_state(w);
+        }
+        w.put_usize(self.peak_occupancy);
+    }
+
+    /// Replaces the buffer contents with the checkpointed ones.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = r.read_usize()?;
+        if n > self.capacity {
+            return Err(SnapshotError::Corrupt("VC buffer over capacity"));
+        }
+        self.slots.clear();
+        for _ in 0..n {
+            self.slots.push_back(Flit::load_state(r)?);
+        }
+        let peak = r.read_usize()?;
+        if peak > self.capacity {
+            return Err(SnapshotError::Corrupt("VC buffer peak occupancy"));
+        }
+        self.peak_occupancy = peak;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

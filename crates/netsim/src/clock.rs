@@ -107,6 +107,39 @@ impl DualClock {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl DualClock {
+    /// Encodes the complete clock state — including the cached period and
+    /// rate terms, whose exact bit patterns the wall-time accumulation
+    /// depends on — for a checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_f64(self.node_frequency_hz);
+        w.put_f64(self.noc_frequency_hz);
+        w.put_f64(self.noc_period_ps);
+        w.put_f64(self.node_cycles_per_ps);
+        w.put_u64(self.noc_cycle);
+        w.put_f64(self.wall_time_ps);
+        w.put_u64(self.node_cycles_emitted);
+    }
+
+    /// Replaces the clock state with the checkpointed one. The cached terms
+    /// are restored verbatim rather than recomputed so that subsequent
+    /// `advance_noc_cycle` arithmetic is bit-identical to the saved run.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.node_frequency_hz = r.read_f64()?;
+        self.noc_frequency_hz = r.read_f64()?;
+        self.noc_period_ps = r.read_f64()?;
+        self.node_cycles_per_ps = r.read_f64()?;
+        self.noc_cycle = r.read_u64()?;
+        self.wall_time_ps = r.read_f64()?;
+        self.node_cycles_emitted = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -566,6 +566,114 @@ impl FaultState {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl FaultState {
+    /// Encodes the mutable fault-process state for a checkpoint: the pending
+    /// event queue (in its live order — `tick` scans it front to back, so
+    /// order is behaviour), the schedule cursor, the hazard RNG stream, the
+    /// per-component down-counters, and the cached port masks. The hazard
+    /// parameters and link table are configuration/topology-derived and are
+    /// not written.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_u64(p.cycle);
+            match p.target {
+                FaultTarget::Link { node, dir } => {
+                    w.put_u8(0);
+                    w.put_usize(node);
+                    w.put_u8(dir.index() as u8);
+                }
+                FaultTarget::Router { node } => {
+                    w.put_u8(1);
+                    w.put_usize(node);
+                    w.put_u8(0);
+                }
+            }
+            w.put_opt_u64(p.duration);
+            w.put_bool(p.recover);
+        }
+        w.put_u64(self.next_due);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        for v in &self.link_down {
+            w.put_u32(*v);
+        }
+        for v in &self.link_perm {
+            w.put_bool(*v);
+        }
+        for v in &self.router_down {
+            w.put_u32(*v);
+        }
+        for v in &self.router_perm {
+            w.put_bool(*v);
+        }
+        for v in &self.port_block {
+            w.put_u8(*v);
+        }
+        w.put_u32(self.down_components);
+    }
+
+    /// Restores the fault-process state written by
+    /// [`save_state`](Self::save_state) into a state machine built from the
+    /// same configuration and topology.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let nodes = self.router_down.len();
+        self.pending.clear();
+        let pending_len = r.read_usize()?;
+        for _ in 0..pending_len {
+            let cycle = r.read_u64()?;
+            let tag = r.read_u8()?;
+            let node = r.read_usize()?;
+            let dir_idx = r.read_u8()? as usize;
+            if node >= nodes {
+                return Err(SnapshotError::Corrupt("fault target node"));
+            }
+            let target = match tag {
+                0 => {
+                    if dir_idx >= crate::topology::PORT_COUNT {
+                        return Err(SnapshotError::Corrupt("fault link direction"));
+                    }
+                    FaultTarget::Link { node, dir: Direction::from_index(dir_idx) }
+                }
+                1 => FaultTarget::Router { node },
+                _ => return Err(SnapshotError::Corrupt("fault target kind")),
+            };
+            let duration = r.read_opt_u64()?;
+            let recover = r.read_bool()?;
+            self.pending.push(Pending { cycle, target, duration, recover });
+        }
+        self.next_due = r.read_u64()?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.read_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        for v in &mut self.link_down {
+            *v = r.read_u32()?;
+        }
+        for v in &mut self.link_perm {
+            *v = r.read_bool()?;
+        }
+        for v in &mut self.router_down {
+            *v = r.read_u32()?;
+        }
+        for v in &mut self.router_perm {
+            *v = r.read_bool()?;
+        }
+        for v in &mut self.port_block {
+            *v = r.read_u8()?;
+        }
+        self.down_components = r.read_u32()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

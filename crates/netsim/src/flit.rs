@@ -168,6 +168,60 @@ impl Flit {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl Flit {
+    /// Encodes the flit for a simulation checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_u64(self.packet_id.as_u64());
+        w.put_u64(self.creation_cycle);
+        w.put_f64(self.creation_time_ps);
+        w.put_u32(self.src);
+        w.put_u32(self.dst);
+        w.put_u32(self.index_in_packet);
+        w.put_u8(match self.kind {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        });
+        w.put_u8(self.vc);
+        w.put_u32(u32::from(self.hops));
+    }
+
+    /// Decodes a flit written by [`save_state`](Self::save_state).
+    pub(crate) fn load_state(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Flit, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let packet_id = PacketId::new(r.read_u64()?);
+        let creation_cycle = r.read_u64()?;
+        let creation_time_ps = r.read_f64()?;
+        let src = r.read_u32()?;
+        let dst = r.read_u32()?;
+        let index_in_packet = r.read_u32()?;
+        let kind = match r.read_u8()? {
+            0 => FlitKind::Head,
+            1 => FlitKind::Body,
+            2 => FlitKind::Tail,
+            3 => FlitKind::HeadTail,
+            _ => return Err(SnapshotError::Corrupt("flit kind")),
+        };
+        let vc = r.read_u8()?;
+        let hops = u16::try_from(r.read_u32()?).map_err(|_| SnapshotError::Corrupt("flit hops"))?;
+        Ok(Flit {
+            packet_id,
+            creation_cycle,
+            creation_time_ps,
+            src,
+            dst,
+            index_in_packet,
+            kind,
+            vc,
+            hops,
+        })
+    }
+}
+
 impl fmt::Display for Flit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -602,6 +602,159 @@ impl GatingController {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl GatingController {
+    /// Encodes the complete gating state for a checkpoint: the master switch
+    /// and per-island parameters (runtime-mutable, hence state), every
+    /// router's gate machine, and the sleep/wake timers. The node→island map
+    /// is configuration and is not written.
+    ///
+    /// The sleep-timer heaps are written as their sorted ascending contents:
+    /// a heap's pop sequence is a function of the multiset of `(due, node)`
+    /// entries alone, so rebuilding by pushing in sorted order reproduces the
+    /// original pop-for-pop behaviour exactly.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_bool(self.enabled);
+        for state in &self.states {
+            w.put_u8(match state {
+                GateState::Active => 0,
+                GateState::DrainWait => 1,
+                GateState::Gated => 2,
+                GateState::WakeUp => 3,
+            });
+        }
+        for idle in &self.idle {
+            w.put_bool(*idle);
+        }
+        for since in &self.idle_since {
+            w.put_u64(*since);
+        }
+        for threshold in &self.thresholds {
+            w.put_u64(*threshold);
+        }
+        for latency in &self.wake_latency {
+            w.put_u64(*latency);
+        }
+        for heap in &self.sleep_due {
+            let mut entries: Vec<(u64, u32)> =
+                heap.iter().map(|&Reverse((due, node))| (due, node)).collect();
+            entries.sort_unstable();
+            w.put_usize(entries.len());
+            for (due, node) in entries {
+                w.put_u64(due);
+                w.put_u32(node);
+            }
+        }
+        for fifo in &self.wake_due {
+            w.put_usize(fifo.len());
+            for (due, node) in fifo {
+                w.put_u64(*due);
+                w.put_u32(*node);
+            }
+        }
+        w.put_usize(self.drain_wait.len());
+        for node in &self.drain_wait {
+            w.put_u32(*node);
+        }
+        w.put_usize(self.fenced_count);
+        for fenced in &self.fenced_sources {
+            w.put_bool(*fenced);
+        }
+        for since in &self.gated_since {
+            w.put_u64(*since);
+        }
+        for win in [&self.win_gated_cycles, &self.win_sleep_events, &self.win_wake_events] {
+            for v in win {
+                w.put_u64(*v);
+            }
+        }
+    }
+
+    /// Restores the gating state written by [`save_state`](Self::save_state)
+    /// into a controller built from the same configuration.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = self.states.len() as u32;
+        self.enabled = r.read_bool()?;
+        for state in &mut self.states {
+            *state = match r.read_u8()? {
+                0 => GateState::Active,
+                1 => GateState::DrainWait,
+                2 => GateState::Gated,
+                3 => GateState::WakeUp,
+                _ => return Err(SnapshotError::Corrupt("gate state")),
+            };
+        }
+        for idle in &mut self.idle {
+            *idle = r.read_bool()?;
+        }
+        for since in &mut self.idle_since {
+            *since = r.read_u64()?;
+        }
+        for threshold in &mut self.thresholds {
+            *threshold = r.read_u64()?;
+        }
+        for latency in &mut self.wake_latency {
+            *latency = r.read_u64()?;
+        }
+        for heap in &mut self.sleep_due {
+            heap.clear();
+            let len = r.read_usize()?;
+            for _ in 0..len {
+                let due = r.read_u64()?;
+                let node = r.read_u32()?;
+                if node >= n {
+                    return Err(SnapshotError::Corrupt("sleep-timer node"));
+                }
+                heap.push(Reverse((due, node)));
+            }
+        }
+        for fifo in &mut self.wake_due {
+            fifo.clear();
+            let len = r.read_usize()?;
+            for _ in 0..len {
+                let due = r.read_u64()?;
+                let node = r.read_u32()?;
+                if node >= n {
+                    return Err(SnapshotError::Corrupt("wake-timer node"));
+                }
+                fifo.push_back((due, node));
+            }
+        }
+        self.drain_wait.clear();
+        let drain_len = r.read_usize()?;
+        for _ in 0..drain_len {
+            let node = r.read_u32()?;
+            if node >= n {
+                return Err(SnapshotError::Corrupt("drain-wait node"));
+            }
+            self.drain_wait.push(node);
+        }
+        let fenced_count = r.read_usize()?;
+        if fenced_count > self.states.len() {
+            return Err(SnapshotError::Corrupt("fenced count"));
+        }
+        self.fenced_count = fenced_count;
+        for fenced in &mut self.fenced_sources {
+            *fenced = r.read_bool()?;
+        }
+        for since in &mut self.gated_since {
+            *since = r.read_u64()?;
+        }
+        for win in
+            [&mut self.win_gated_cycles, &mut self.win_sleep_events, &mut self.win_wake_events]
+        {
+            for v in win.iter_mut() {
+                *v = r.read_u64()?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

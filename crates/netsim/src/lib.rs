@@ -56,6 +56,7 @@
 //! | [`traffic`] | synthetic patterns, bursty sources and traffic matrices | — |
 //! | [`source`] | node-clock-driven packet generation | clone-free injection ([`Source::try_inject`](source::Source::try_inject)) |
 //! | [`sink`] | ejection and per-packet recording | flat counters, no per-packet map |
+//! | [`snapshot`] | versioned checkpoints ([`SimSnapshot`], `snapshot` feature) | cold path; bit-identical pause/resume |
 //! | [`activity`] | switching-activity counters for power estimation | — |
 //! | [`stats`] | latency / delay / throughput statistics | — |
 //! | [`clock`] | dual-clock (node vs NoC) bookkeeping | per-cycle divisions cached on frequency change |
@@ -124,6 +125,8 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod sink;
+#[cfg(feature = "snapshot")]
+pub mod snapshot;
 pub mod source;
 pub mod stats;
 pub mod topology;
@@ -140,6 +143,8 @@ pub use gating::{GateState, GatingConfig, PerIslandGating, GATE_NEVER};
 pub use region::{RegionLayout, RegionMap, RegionScheme};
 pub use routing::{MinimalAdaptive, RoutingAlgorithm, RoutingKind, XyRouting, YxRouting};
 pub use sim::{NocSimulation, WindowMeasurement};
+#[cfg(feature = "snapshot")]
+pub use snapshot::{SimSnapshot, SnapshotError};
 pub use stats::{PacketRecord, SimStats};
 pub use topology::{Direction, Mesh2d, Topology, TopologyKind};
 pub use traffic::{BurstyTraffic, MatrixTraffic, SyntheticTraffic, TrafficPattern, TrafficSpec};

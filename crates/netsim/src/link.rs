@@ -101,6 +101,54 @@ impl<T> DelayChannel<T> {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl<T> DelayChannel<T> {
+    /// Encodes the in-flight contents (due cycle + item) for a checkpoint.
+    /// The latency is configuration, not state, and is not written.
+    pub(crate) fn save_state(
+        &self,
+        w: &mut crate::snapshot::SnapWriter,
+        mut encode: impl FnMut(&T, &mut crate::snapshot::SnapWriter),
+    ) {
+        w.put_usize(self.in_flight.len());
+        for (due, item) in &self.in_flight {
+            w.put_u64(*due);
+            encode(item, w);
+        }
+    }
+
+    /// Replaces the in-flight contents with the checkpointed ones.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+        mut decode: impl FnMut(
+            &mut crate::snapshot::SnapReader<'_>,
+        ) -> Result<T, crate::snapshot::SnapshotError>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.in_flight.clear();
+        let n = r.read_usize()?;
+        let mut prev_due = 0u64;
+        for _ in 0..n {
+            let due = r.read_u64()?;
+            if due < prev_due {
+                // Sends happen at non-decreasing cycles, so a FIFO channel's
+                // due times are monotone; anything else is a mangled stream.
+                return Err(crate::snapshot::SnapshotError::Corrupt("channel due order"));
+            }
+            prev_due = due;
+            let item = decode(r)?;
+            self.in_flight.push_back((due, item));
+        }
+        Ok(())
+    }
+
+    /// Delivery cycles of every in-flight item, in queue order — the restore
+    /// path walks these to rebuild the driver's timing wheels.
+    pub(crate) fn due_times(&self) -> impl Iterator<Item = u64> + '_ {
+        self.in_flight.iter().map(|(due, _)| *due)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

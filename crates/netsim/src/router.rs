@@ -732,6 +732,120 @@ impl Router {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl Router {
+    /// Encodes every piece of mutable pipeline state for a checkpoint:
+    /// input/output VC state, both allocator arbiter banks, the round-robin
+    /// cursors, the per-port state bitmasks and the activity window. The node
+    /// index, VC count and allocation scratch are not written (configuration
+    /// and per-round scratch respectively).
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        for input in &self.inputs {
+            w.put_u8(match input.state {
+                VcState::Idle => 0,
+                VcState::Routing => 1,
+                VcState::VcAllocation => 2,
+                VcState::Active => 3,
+                VcState::Draining => 4,
+            });
+            input.buffer.save_state(w);
+            w.put_opt_u64(input.out_port.map(u64::from));
+            w.put_opt_u64(input.out_vc.map(u64::from));
+            w.put_u8(input.next_class);
+        }
+        for output in &self.outputs {
+            w.put_usize(output.credits);
+            w.put_bool(output.allocated);
+        }
+        self.vc_allocator.save_state(w);
+        self.sw_allocator.save_state(w);
+        for cursor in &self.out_vc_rr {
+            w.put_usize(*cursor);
+        }
+        for masks in
+            [&self.routing_mask, &self.va_mask, &self.active_mask, &self.drain_mask, &self.free_out_mask]
+        {
+            for mask in masks {
+                w.put_u64(*mask);
+            }
+        }
+        w.put_u32(self.routing_pending);
+        w.put_u32(self.va_pending);
+        w.put_u64(self.class_masks[0]);
+        w.put_u64(self.class_masks[1]);
+        self.activity.save_state(w);
+        w.put_usize(self.buffered);
+    }
+
+    /// Restores the pipeline state written by [`save_state`](Self::save_state)
+    /// into a router built from the same configuration.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let vcs = self.vcs;
+        for input in &mut self.inputs {
+            input.state = match r.read_u8()? {
+                0 => VcState::Idle,
+                1 => VcState::Routing,
+                2 => VcState::VcAllocation,
+                3 => VcState::Active,
+                4 => VcState::Draining,
+                _ => return Err(SnapshotError::Corrupt("VC state")),
+            };
+            input.buffer.load_state(r)?;
+            let out_port = r.read_opt_u64()?;
+            if out_port.is_some_and(|p| p >= PORT_COUNT as u64) {
+                return Err(SnapshotError::Corrupt("VC out port"));
+            }
+            input.out_port = out_port.map(|p| p as u8);
+            let out_vc = r.read_opt_u64()?;
+            if out_vc.is_some_and(|v| v >= vcs as u64) {
+                return Err(SnapshotError::Corrupt("VC out VC"));
+            }
+            input.out_vc = out_vc.map(|v| v as u8);
+            input.next_class = r.read_u8()?;
+        }
+        for output in &mut self.outputs {
+            output.credits = r.read_usize()?;
+            output.allocated = r.read_bool()?;
+        }
+        self.vc_allocator.load_state(r)?;
+        self.sw_allocator.load_state(r)?;
+        for cursor in &mut self.out_vc_rr {
+            let c = r.read_usize()?;
+            if c >= vcs {
+                return Err(SnapshotError::Corrupt("output VC cursor"));
+            }
+            *cursor = c;
+        }
+        for masks in [
+            &mut self.routing_mask,
+            &mut self.va_mask,
+            &mut self.active_mask,
+            &mut self.drain_mask,
+            &mut self.free_out_mask,
+        ] {
+            for mask in masks.iter_mut() {
+                *mask = r.read_u64()?;
+            }
+        }
+        self.routing_pending = r.read_u32()?;
+        self.va_pending = r.read_u32()?;
+        self.class_masks[0] = r.read_u64()?;
+        self.class_masks[1] = r.read_u64()?;
+        self.activity.load_state(r)?;
+        let buffered = r.read_usize()?;
+        let actual: usize = self.inputs.iter().map(|input| input.buffer.len()).sum();
+        if buffered != actual {
+            return Err(SnapshotError::Corrupt("router buffered-flit count"));
+        }
+        self.buffered = buffered;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,33 @@ impl Sink {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl Sink {
+    /// Encodes the reassembly counters for a checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_u64(self.packets_started);
+        w.put_u64(self.packets_completed);
+        w.put_u64(self.flits_received);
+    }
+
+    /// Replaces the counters with the checkpointed ones.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let started = r.read_u64()?;
+        let completed = r.read_u64()?;
+        if completed > started {
+            return Err(SnapshotError::Corrupt("sink packet counters"));
+        }
+        self.packets_started = started;
+        self.packets_completed = completed;
+        self.flits_received = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

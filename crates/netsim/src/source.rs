@@ -205,6 +205,61 @@ impl Source {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl Source {
+    /// Encodes the injection queue, credit state and counters for a
+    /// checkpoint. The node index is configuration and is not written.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_usize(self.pending.len());
+        for flit in &self.pending {
+            flit.save_state(w);
+        }
+        w.put_usize(self.credits.len());
+        for credit in &self.credits {
+            w.put_usize(*credit);
+        }
+        w.put_opt_u64(self.active_vc.map(|vc| vc as u64));
+        w.put_usize(self.next_vc);
+        w.put_u64(self.flits_generated);
+        w.put_u64(self.packets_generated);
+        w.put_u64(self.flits_injected);
+    }
+
+    /// Replaces the mutable source state with the checkpointed one.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let queued = r.read_usize()?;
+        self.pending.clear();
+        for _ in 0..queued {
+            self.pending.push_back(Flit::load_state(r)?);
+        }
+        let vcs = r.read_usize()?;
+        if vcs != self.credits.len() {
+            return Err(SnapshotError::Corrupt("source VC count"));
+        }
+        for credit in &mut self.credits {
+            *credit = r.read_usize()?;
+        }
+        let active_vc = r.read_opt_u64()?.map(|vc| vc as usize);
+        if active_vc.is_some_and(|vc| vc >= self.credits.len()) {
+            return Err(SnapshotError::Corrupt("source active VC"));
+        }
+        self.active_vc = active_vc;
+        let next_vc = r.read_usize()?;
+        if next_vc >= self.credits.len() {
+            return Err(SnapshotError::Corrupt("source next VC"));
+        }
+        self.next_vc = next_vc;
+        self.flits_generated = r.read_u64()?;
+        self.packets_generated = r.read_u64()?;
+        self.flits_injected = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

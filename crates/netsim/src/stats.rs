@@ -93,6 +93,35 @@ impl SimStats {
     }
 }
 
+#[cfg(feature = "snapshot")]
+impl SimStats {
+    /// Encodes the aggregate for a simulation checkpoint.
+    pub(crate) fn save_state(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.put_u64(self.packets);
+        w.put_u64(self.flits);
+        w.put_u64(self.latency_cycles_sum);
+        w.put_f64(self.delay_ps_sum);
+        w.put_u64(self.max_latency_cycles);
+        w.put_f64(self.max_delay_ps);
+        w.put_u64(self.hops_sum);
+    }
+
+    /// Restores the aggregate from a checkpoint.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.packets = r.read_u64()?;
+        self.flits = r.read_u64()?;
+        self.latency_cycles_sum = r.read_u64()?;
+        self.delay_ps_sum = r.read_f64()?;
+        self.max_latency_cycles = r.read_u64()?;
+        self.max_delay_ps = r.read_f64()?;
+        self.hops_sum = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

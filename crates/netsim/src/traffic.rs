@@ -240,6 +240,25 @@ pub trait TrafficSpec: Debug + Send {
     fn skip_node_cycles(&mut self, node_cycles: u64) {
         let _ = node_cycles;
     }
+
+    /// Appends any *mutable* traffic state to `out` for a simulation
+    /// checkpoint. Memoryless sources (everything derived from configuration)
+    /// write nothing — the default. Stateful sources (e.g. the per-node
+    /// ON/OFF chains of [`BurstyTraffic`]) must write every bit their future
+    /// draws depend on; the RNG itself is owned and checkpointed by the
+    /// simulation.
+    fn save_extra_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restores the state captured by
+    /// [`save_extra_state`](Self::save_extra_state). Returns `false` when the
+    /// bytes are not a valid encoding for this source (the restore is then
+    /// rejected as corrupt). The default accepts only the empty blob written
+    /// by the default `save_extra_state`.
+    fn load_extra_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 /// Bernoulli packet injection following one of the synthetic
@@ -452,6 +471,27 @@ impl TrafficSpec for BurstyTraffic {
         } else {
             0
         }
+    }
+
+    fn save_extra_state(&self, out: &mut Vec<u8>) {
+        // The per-node ON/OFF chain states are the source's only mutable
+        // state (the vector grows lazily, so its length is part of it).
+        out.extend_from_slice(&(self.on.len() as u64).to_le_bytes());
+        out.extend(self.on.iter().map(|&b| u8::from(b)));
+    }
+
+    fn load_extra_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < 8 {
+            return false;
+        }
+        let (len_bytes, rest) = bytes.split_at(8);
+        let n = u64::from_le_bytes(len_bytes.try_into().expect("8-byte slice")) as usize;
+        if rest.len() != n || rest.iter().any(|&b| b > 1) {
+            return false;
+        }
+        self.on.clear();
+        self.on.extend(rest.iter().map(|&b| b != 0));
+        true
     }
 }
 

@@ -112,6 +112,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw 256-bit xoshiro256++ state.
+        ///
+        /// Together with [`from_state`](Self::from_state) this allows a
+        /// generator to be checkpointed and later resumed mid-stream: the
+        /// restored generator produces exactly the remaining draws of the
+        /// original stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a raw state captured by
+        /// [`state`](Self::state).
+        ///
+        /// No seeding expansion is applied: the words are installed verbatim,
+        /// so `from_state(r.state())` is a perfect clone of `r`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

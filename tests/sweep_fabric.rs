@@ -1,0 +1,159 @@
+//! Integration tests of the crash-tolerant sweep fabric against the real
+//! simulator: chaos-killed and kill/resume sweeps must converge to journals
+//! byte-identical to an uninterrupted run, and a chaos-killed long point
+//! warm-started from a [`SimSnapshot`] checkpoint must reproduce the
+//! never-crashed ledger exactly.
+//!
+//! (The coordinator's own unit tests cover the fabric mechanics — watchdog,
+//! backoff, torn journals — with cheap synthetic runners; these tests pin
+//! the end-to-end claim with real operating points.)
+
+use noc_dvfs::coordinator::{
+    run_sweep, shard_policy_grid, ChaosConfig, CoordinatorConfig, PointContext, PointRunner,
+    WorkUnit,
+};
+use noc_dvfs::{
+    encode_operating_point, run_operating_point, ClosedLoopConfig, DmsdConfig, PolicyKind,
+};
+use noc_sim::{
+    FaultConfig, GatingConfig, HazardConfig, NetworkConfig, NocSimulation, SimSnapshot,
+    SyntheticTraffic, TrafficPattern,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sweep-fabric-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small gated + faulted torus so every point exercises the full state
+/// space the snapshot subsystem has to carry.
+fn torus_under_fire() -> NetworkConfig {
+    NetworkConfig::builder()
+        .torus(4, 4)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(4)
+        .gating(GatingConfig::enabled(24, 8))
+        .faults(FaultConfig::none().with_hazard(HazardConfig {
+            link_rate: 1e-4,
+            router_rate: 5e-5,
+            transient_fraction: 1.0,
+            transient_duration: 150,
+        }))
+        .build()
+        .expect("gated faulted torus configuration is valid")
+}
+
+fn operating_point_runner() -> Arc<PointRunner> {
+    let net = torus_under_fire();
+    let loop_cfg = ClosedLoopConfig::quick();
+    Arc::new(move |unit: &WorkUnit, ctx: &mut PointContext| {
+        ctx.checkpoint_tick();
+        let traffic =
+            SyntheticTraffic::new(TrafficPattern::Uniform, unit.load, net.packet_length());
+        let point =
+            run_operating_point(&net, Box::new(traffic), unit.policy.clone(), &loop_cfg, unit.seed);
+        Ok(encode_operating_point(&point))
+    })
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).expect("journal exists")
+}
+
+#[test]
+fn chaos_and_resume_converge_to_the_uninterrupted_journal() {
+    let dir = TempDir::new("converge");
+    let policies =
+        [PolicyKind::NoDvfs, PolicyKind::Dmsd(DmsdConfig::with_target_ns(150.0))];
+    let grid = shard_policy_grid("fabric", &policies, &[0.08], 2015);
+    let cfg = CoordinatorConfig::quick();
+
+    let clean = dir.path("clean.jsonl");
+    let reference = run_sweep(&grid, operating_point_runner(), &clean, &cfg).unwrap();
+    assert!(reference.failures.is_empty());
+    assert_eq!(reference.results.len(), grid.len());
+
+    // Kill partway: a first "process" only dispatches a prefix of the grid,
+    // then a second one resumes from its journal.
+    let resumed_journal = dir.path("resumed.jsonl");
+    run_sweep(&grid[..1], operating_point_runner(), &resumed_journal, &cfg).unwrap();
+    let resumed = run_sweep(&grid, operating_point_runner(), &resumed_journal, &cfg).unwrap();
+    assert_eq!(resumed.resumed, 1, "the journaled prefix must not be recomputed");
+    assert_eq!(read(&resumed_journal), read(&clean), "resume must merge to the exact artifact");
+
+    // Chaos: worker attempts killed mid-point still converge byte-for-byte.
+    let chaos_journal = dir.path("chaos.jsonl");
+    let chaos_cfg = CoordinatorConfig::quick()
+        .with_chaos(ChaosConfig { kill_probability: 1.0, seed: 0xC4A0 });
+    let chaos = run_sweep(&grid, operating_point_runner(), &chaos_journal, &chaos_cfg).unwrap();
+    assert!(chaos.failures.is_empty(), "chaos sweeps must converge");
+    assert!(chaos.retries > 0, "a 100% kill rate must actually kill something");
+    assert_eq!(read(&chaos_journal), read(&clean), "chaos must converge to the exact artifact");
+}
+
+#[test]
+fn a_chaos_killed_long_point_warm_starts_bit_identically() {
+    let dir = TempDir::new("warmstart");
+    let unit = WorkUnit::new("long", PolicyKind::NoDvfs, 0.10, 7);
+    // The runner simulates 1200 cycles in 300-cycle chunks, checkpointing a
+    // full snapshot after each chunk; a killed attempt's retry restores the
+    // latest checkpoint instead of restarting.
+    let runner: Arc<PointRunner> = Arc::new(|unit: &WorkUnit, ctx: &mut PointContext| {
+        let net = torus_under_fire();
+        let traffic =
+            SyntheticTraffic::new(TrafficPattern::Uniform, unit.load, net.packet_length());
+        let mut sim = NocSimulation::new(net, Box::new(traffic), unit.seed);
+        if let Some(bytes) = ctx.load_checkpoint() {
+            let snap = SimSnapshot::from_bytes(&bytes).expect("checkpoints are never torn");
+            sim.restore(&snap).expect("checkpoint matches the configuration");
+            assert!(sim.current_cycle() > 0, "warm start must not begin at cycle 0");
+        }
+        while sim.current_cycle() < 1_200 {
+            sim.run_cycles(300);
+            ctx.save_checkpoint(&sim.snapshot().to_bytes());
+        }
+        Ok(format!(
+            "cycle={} gen={} del={} drop={} stats={:?}",
+            sim.current_cycle(),
+            sim.total_flits_generated(),
+            sim.total_packets_delivered(),
+            sim.total_flits_dropped(),
+            sim.stats(),
+        ))
+    });
+    let chaos_cfg = CoordinatorConfig::quick()
+        .with_chaos(ChaosConfig { kill_probability: 1.0, seed: 1 });
+    let killed = run_sweep(
+        std::slice::from_ref(&unit),
+        Arc::clone(&runner),
+        &dir.path("warm.jsonl"),
+        &chaos_cfg,
+    )
+    .unwrap();
+    assert!(killed.failures.is_empty());
+    assert!(killed.retries > 0, "the first attempt must have been chaos-killed");
+    let cold = run_sweep(&[unit], runner, &dir.path("cold.jsonl"), &CoordinatorConfig::quick())
+        .unwrap();
+    assert_eq!(
+        killed.results[0].1, cold.results[0].1,
+        "the warm-started ledger must equal the never-crashed one bit for bit"
+    );
+}
