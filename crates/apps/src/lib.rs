@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dag;
 pub mod h264;
 pub mod task_graph;
 pub mod vce;
 
+pub use dag::{random_task_graph, DagConfig, DagError};
 pub use h264::h264_encoder;
 pub use task_graph::{TaskEdge, TaskGraph, TaskGraphError, TaskNode};
 pub use vce::video_conference_encoder;

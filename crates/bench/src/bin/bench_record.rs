@@ -312,6 +312,21 @@ fn main() {
             NetworkConfig::builder().torus(5, 5).build().unwrap(),
             Box::new(torus_hotspot_bursty(0.35)),
         ),
+        // Multi-tenant probe: eight seeded random-DAG tenants composed onto
+        // one 16x16 torus (the workload of examples/multi_tenant.rs). The
+        // traffic is a fabric-sized matrix whose hot rows cluster inside
+        // each tenant's tile, so this tracks the sparse core on clustered —
+        // rather than uniform — activity at scale.
+        (
+            "16x16_torus_8tenants",
+            NetworkConfig::builder().torus(16, 16).build().unwrap(),
+            Box::new(|cfg: &NetworkConfig| -> Box<dyn TrafficSpec> {
+                let comp = noc_dvfs::TenantMix::new(8, 10, 2015)
+                    .compose(cfg.width(), cfg.height(), cfg.packet_length(), 0.2)
+                    .expect("eight 4x4 tiles fit a 16x16 fabric");
+                Box::new(comp.traffic)
+            }),
+        ),
         // Voltage-frequency island bookkeeping probe: the quadrant
         // partition with every island at the base rate isolates the cost of
         // the per-island window/fire accounting itself — the number to

@@ -445,12 +445,12 @@ fn checkpoint_path(journal_path: &Path, key: &str) -> PathBuf {
 /// Atomic file replacement: write to a sibling temp file, then rename over
 /// the destination. A crash at any instant leaves either the old complete
 /// file or the new complete file — never a torn mix.
+///
+/// The implementation lives in [`noc_sim::trace`] (the trace recorder's
+/// chunk files share it); this re-delegation keeps the coordinator's
+/// long-standing public API.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+    noc_sim::trace::write_atomic(path, bytes)
 }
 
 // ---------------------------------------------------------------------------

@@ -68,6 +68,7 @@ pub mod saturation;
 pub mod scenario;
 pub mod summary;
 pub mod sweep;
+pub mod tenant;
 
 pub use closed_loop::{
     degraded_mode_report, run_operating_point, ClosedLoopConfig, OperatingPointResult,
@@ -92,8 +93,13 @@ pub use rmsd::{Rmsd, RmsdConfig};
 pub use saturation::find_saturation_rate;
 pub use scenario::{
     compare_policies_scenario, scenario_grid, scenario_grid_faulted, scenario_grid_gated,
-    scenario_grid_islands, sweep_scenario_gated, sweep_scenario_grid, sweep_scenario_islands,
-    FaultProfile, GatedSweepPoint, InjectionProcess, IslandSweepPoint, Scenario,
+    scenario_grid_islands, scenario_grid_tenants, sweep_scenario_gated, sweep_scenario_grid,
+    sweep_scenario_islands, FaultProfile, GatedSweepPoint, InjectionProcess, IslandSweepPoint,
+    Scenario, TenantMix,
 };
 pub use summary::TradeOffSummary;
 pub use sweep::{PolicyCurve, SweepPoint};
+pub use tenant::{
+    compose_tenants, run_tenants, MappingPolicy, TenantComposeError, TenantComposition, TenantQos,
+    TenantReport, TenantWorkload,
+};

@@ -89,6 +89,105 @@ pub struct Scenario {
     /// [`FaultConfig`] by [`network`](Scenario::network) (set via
     /// [`faulted`](Scenario::faulted)).
     pub faults: Option<FaultProfile>,
+    /// Multi-tenant axis: `None` (the historical single-workload setting)
+    /// or a [`TenantMix`] of seeded random-DAG tenants composed over the
+    /// fabric (set via [`tenanted`](Scenario::tenanted)). When set, the
+    /// mix **replaces** the synthetic `pattern`/`injection` source:
+    /// [`traffic`](Scenario::traffic) builds the composed tenant matrix and
+    /// interprets the load level as the per-tenant peak node injection
+    /// rate.
+    pub tenants: Option<TenantMix>,
+}
+
+/// A compact, `Copy` description of a multi-tenant workload that a
+/// [`Scenario`] can carry (the full composed [`TenantComposition`] owns
+/// heap state and so cannot live in the `Copy` scenario struct; the mix is
+/// expanded deterministically from its seed by
+/// [`Scenario::traffic`]).
+///
+/// [`TenantComposition`]: crate::tenant::TenantComposition
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantMix {
+    /// Number of random-DAG tenants composed onto the fabric.
+    pub tenants: u32,
+    /// Tasks per generated DAG.
+    pub tasks_per_tenant: u32,
+    /// Tile width each tenant's DAG is mapped on.
+    pub tile_width: u32,
+    /// Tile height each tenant's DAG is mapped on.
+    pub tile_height: u32,
+    /// Base seed; tenant `t` generates its graph from `seed + t`.
+    pub seed: u64,
+}
+
+impl TenantMix {
+    /// A mix of `tenants` DAGs of `tasks_per_tenant` tasks each, tiled on
+    /// 4×4 tiles with default Pareto rates.
+    pub fn new(tenants: u32, tasks_per_tenant: u32, seed: u64) -> Self {
+        TenantMix { tenants, tasks_per_tenant, tile_width: 4, tile_height: 4, seed }
+    }
+
+    /// A short label component, e.g. `"tenants8x12s42"` (8 tenants, 12
+    /// tasks each, base seed 42).
+    pub fn name(&self) -> String {
+        format!("tenants{}x{}s{}", self.tenants, self.tasks_per_tenant, self.seed)
+    }
+
+    /// Expands the mix into its tenant workloads (one seeded random DAG per
+    /// tenant, all at nominal speed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`noc_apps::DagError`]s from the generator (too many
+    /// tasks for the tile, degenerate parameters).
+    pub fn workloads(&self) -> Result<Vec<crate::tenant::TenantWorkload>, noc_apps::DagError> {
+        (0..self.tenants)
+            .map(|t| {
+                let cfg = noc_apps::DagConfig::new(
+                    self.tasks_per_tenant as usize,
+                    self.tile_width as usize,
+                    self.tile_height as usize,
+                    self.seed + u64::from(t),
+                );
+                let graph = noc_apps::random_task_graph(format!("tenant{t}"), &cfg)?;
+                Ok(crate::tenant::TenantWorkload::new(graph))
+            })
+            .collect()
+    }
+
+    /// Composes the mix onto a `width × height` fabric under tiled
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TenantComposeError`](crate::tenant::TenantComposeError)
+    /// when the tiles do not fit the fabric, wrapping generator errors as
+    /// [`InvalidParam`](crate::tenant::TenantComposeError::InvalidParam).
+    pub fn compose(
+        &self,
+        width: usize,
+        height: usize,
+        packet_length: usize,
+        peak_node_rate: f64,
+    ) -> Result<crate::tenant::TenantComposition, crate::tenant::TenantComposeError> {
+        let workloads = self
+            .workloads()
+            .map_err(|_| crate::tenant::TenantComposeError::InvalidParam("tenant mix"))?;
+        crate::tenant::compose_tenants(
+            width,
+            height,
+            &workloads,
+            &crate::tenant::MappingPolicy::Tiled,
+            packet_length,
+            peak_node_rate,
+        )
+    }
+
+    /// Whether the mix fits a `width × height` fabric under tiled
+    /// placement (used by [`scenario_grid_tenants`] to filter).
+    pub fn fits(&self, width: usize, height: usize) -> bool {
+        self.compose(width, height, 5, 0.1).is_ok()
+    }
 }
 
 /// A compact, `Copy` description of a fault workload that a [`Scenario`]
@@ -176,6 +275,7 @@ impl Scenario {
             gating: None,
             routing: RoutingKind::Xy,
             faults: None,
+            tenants: None,
         }
     }
 
@@ -204,6 +304,13 @@ impl Scenario {
         Scenario { faults: Some(faults), ..self }
     }
 
+    /// The same scenario composing the given multi-tenant mix (which then
+    /// replaces the synthetic traffic source — see
+    /// [`traffic`](Scenario::traffic)).
+    pub fn tenanted(self, tenants: TenantMix) -> Self {
+        Scenario { tenants: Some(tenants), ..self }
+    }
+
     /// A `topology/pattern/process` label for figures and reports, e.g.
     /// `"torus/hotspot/bursty"`. Non-default axes append fixed-order
     /// suffixes — layout, gating policy, routing (when not XY), fault
@@ -223,6 +330,9 @@ impl Scenario {
         }
         if let Some(faults) = self.faults {
             label = format!("{label}/{}", faults.name());
+        }
+        if let Some(tenants) = self.tenants {
+            label = format!("{label}/{}", tenants.name());
         }
         label
     }
@@ -252,7 +362,26 @@ impl Scenario {
     }
 
     /// Builds the traffic source for one load level on `net`.
+    ///
+    /// A tenanted scenario ([`tenants`](Scenario::tenants) set) composes
+    /// its DAG mix onto `net`'s fabric instead of the synthetic source, and
+    /// `load` becomes the per-tenant peak node injection rate (each
+    /// tenant's busiest source node injects `load` flits per node cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tenanted scenario's mix does not fit `net` — validate
+    /// with [`TenantMix::fits`] (grids from [`scenario_grid_tenants`]
+    /// always do).
     pub fn traffic(&self, net: &NetworkConfig, load: f64) -> Box<dyn TrafficSpec> {
+        if let Some(mix) = self.tenants {
+            let comp = mix
+                .compose(net.width(), net.height(), net.packet_length(), load)
+                .unwrap_or_else(|e| {
+                    panic!("tenant mix {} does not fit the network: {e}", mix.name())
+                });
+            return Box::new(comp.traffic);
+        }
         match self.injection {
             InjectionProcess::Bernoulli => {
                 Box::new(SyntheticTraffic::new(self.pattern, load, net.packet_length()))
@@ -592,6 +721,26 @@ pub fn scenario_grid_faulted(
         })
         .filter(|s| s.network(base).is_ok())
         .collect()
+}
+
+/// Topologies crossed with multi-tenant mixes: one tenanted scenario per
+/// `topology × mix` combination that fits `base`'s fabric (the synthetic
+/// pattern axis collapses to [`TrafficPattern::Uniform`] because the mix
+/// replaces the pattern — crossing patterns would only duplicate
+/// scenarios). Mixes whose tiles do not fit the fabric are silently
+/// skipped, mirroring [`scenario_grid`]'s treatment of invalid patterns.
+pub fn scenario_grid_tenants(base: &NetworkConfig, mixes: &[TenantMix]) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for topology in TopologyKind::ALL {
+        for &mix in mixes {
+            let scenario = Scenario::new(topology, TrafficPattern::Uniform).tenanted(mix);
+            if scenario.network(base).is_err() || !mix.fits(base.width(), base.height()) {
+                continue;
+            }
+            out.push(scenario);
+        }
+    }
+    out
 }
 
 /// Parallel multi-policy, multi-load sweep of one scenario under **combined
@@ -998,6 +1147,43 @@ mod tests {
         assert_eq!(report.packets_delivered, faulted.packets_delivered);
         assert!(report.latency_inflation() > 0.0);
         assert!(report.rerouting_energy_pj() >= 0.0);
+    }
+
+    #[test]
+    fn tenant_labels_and_grid_compose() {
+        let mix = TenantMix::new(2, 6, 42);
+        let s = Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform).tenanted(mix);
+        assert_eq!(s.label(), "mesh/uniform/bernoulli/tenants2x6s42");
+        // The tenant suffix composes after every other axis.
+        let s = s.islands(RegionLayout::Quadrants);
+        assert_eq!(s.label(), "mesh/uniform/bernoulli/quadrants/tenants2x6s42");
+        // An 8x4 fabric fits two 4x4 tiles; a 4x4 fabric fits one mix only.
+        let wide = NetworkConfig::builder().mesh(8, 4).virtual_channels(2).build().unwrap();
+        let grid = scenario_grid_tenants(&wide, &[TenantMix::new(2, 6, 1)]);
+        assert_eq!(grid.len(), 2, "both topologies fit the 2-tenant mix");
+        let grid = scenario_grid_tenants(&small_base(), &[TenantMix::new(2, 6, 1)]);
+        assert!(grid.is_empty(), "two 4x4 tiles cannot fit a 4x4 fabric");
+    }
+
+    #[test]
+    fn tenanted_scenario_sweeps_through_the_standard_machinery() {
+        let wide = NetworkConfig::builder()
+            .mesh(8, 4)
+            .virtual_channels(2)
+            .buffer_depth(4)
+            .packet_length(5)
+            .build()
+            .unwrap();
+        let scenario =
+            Scenario::new(TopologyKind::Mesh, TrafficPattern::Uniform).tenanted(TenantMix::new(2, 6, 42));
+        let net = scenario.network(&wide).unwrap();
+        let loads = [0.1];
+        let policies = vec![PolicyKind::NoDvfs];
+        let loop_cfg = ClosedLoopConfig::quick();
+        let curves = sweep_scenario(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert!(curves[0].points[0].result.packets_delivered > 0);
+        let serial = sweep_scenario_serial(&net, scenario, &loads, &policies, &loop_cfg, 2015);
+        assert_eq!(curves, serial);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! | [`flit`] | flits, packets and their identifiers | 40-byte `Copy` [`Flit`]; serde gated behind `flit-serde` |
 //! | [`topology`] | 2D mesh / torus geometry and port algebra | coordinate math precomputed into a neighbour table by [`sim`] |
 //! | [`region`] | voltage-frequency island partitions ([`RegionMap`]) | resolved once; per-island node bitmasks gate the sparse worklists |
+//! | [`tenant`] | multi-tenant partitions ([`TenantMap`]) for per-tenant QoS accounting | inert (`None`) unless a map is installed; one slot lookup per counted event |
 //! | [`gating`] | router power gating: sleep/wakeup state machines ([`GatingConfig`]) | event-driven timers; fenced routers cost nothing per cycle |
 //! | [`fault`] | deterministic fault injection ([`FaultConfig`]): scheduled/hazard link & router failures | separate RNG stream; cached blocked-port masks; inert when unconfigured |
 //! | [`routing`] | dimension-ordered (XY/YX) + minimal-adaptive escape-VC routing, torus datelines | invoked once per head flit, not per flit |
@@ -57,6 +58,7 @@
 //! | [`source`] | node-clock-driven packet generation | clone-free injection ([`Source::try_inject`](source::Source::try_inject)) |
 //! | [`sink`] | ejection and per-packet recording | flat counters, no per-packet map |
 //! | [`snapshot`] | versioned checkpoints ([`SimSnapshot`], `snapshot` feature) | cold path; bit-identical pause/resume |
+//! | [`trace`] | injection record / replay ([`TraceWriter`] / [`TraceTraffic`], `snapshot` feature) | chunked streaming, one chunk resident; replay draws no RNG |
 //! | [`activity`] | switching-activity counters for power estimation | — |
 //! | [`stats`] | latency / delay / throughput statistics | — |
 //! | [`clock`] | dual-clock (node vs NoC) bookkeeping | per-cycle divisions cached on frequency change |
@@ -129,7 +131,10 @@ pub mod sink;
 pub mod snapshot;
 pub mod source;
 pub mod stats;
+pub mod tenant;
 pub mod topology;
+#[cfg(feature = "snapshot")]
+pub mod trace;
 pub mod traffic;
 pub mod units;
 
@@ -146,6 +151,11 @@ pub use sim::{NocSimulation, WindowMeasurement};
 #[cfg(feature = "snapshot")]
 pub use snapshot::{SimSnapshot, SnapshotError};
 pub use stats::{PacketRecord, SimStats};
+pub use tenant::{TenantMap, TenantMapError};
 pub use topology::{Direction, Mesh2d, Topology, TopologyKind};
+#[cfg(feature = "snapshot")]
+pub use trace::{
+    RecordingTraffic, TraceError, TraceEvent, TraceReader, TraceTraffic, TraceWriter,
+};
 pub use traffic::{BurstyTraffic, MatrixTraffic, SyntheticTraffic, TrafficPattern, TrafficSpec};
 pub use units::{Cycles, FlitsPerCycle, Hertz, Picoseconds};

@@ -44,8 +44,9 @@ use crate::config::NetworkConfig;
 pub const SNAP_MAGIC: u64 = 0x4E4F_4353_4E41_5031;
 
 /// Current snapshot format version. Bumped on any layout change; old
-/// versions are rejected rather than misread.
-pub const SNAP_VERSION: u32 = 1;
+/// versions are rejected rather than misread. Version 2 added the tenant
+/// accounting section (partition map + per-tenant windows).
+pub const SNAP_VERSION: u32 = 2;
 
 /// Errors raised while decoding or applying a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

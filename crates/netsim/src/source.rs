@@ -92,7 +92,10 @@ impl Source {
         !self.pending.is_empty()
     }
 
-    /// Runs `node_cycles` node-clock cycles of packet generation.
+    /// Runs `node_cycles` node-clock cycles of packet generation, covering
+    /// the absolute node cycles `start_node_cycle ..
+    /// start_node_cycle + node_cycles` (the clock the event-horizon skip
+    /// contract and trace record/replay speak in).
     ///
     /// `next_packet_id` is a monotonically increasing counter shared across
     /// sources (owned by the simulation); newly generated packets consume ids
@@ -102,6 +105,7 @@ impl Source {
     pub fn generate(
         &mut self,
         node_cycles: u64,
+        start_node_cycle: u64,
         traffic: &mut dyn TrafficSpec,
         topo: &Topology,
         rng: &mut StdRng,
@@ -109,8 +113,10 @@ impl Source {
         current_cycle: u64,
         wall_time_ps: f64,
     ) {
-        for _ in 0..node_cycles {
-            if let Some(dst) = traffic.maybe_generate(self.node, topo, rng) {
+        for offset in 0..node_cycles {
+            if let Some(dst) =
+                traffic.maybe_generate(self.node, start_node_cycle + offset, topo, rng)
+            {
                 let id = PacketId::new(*next_packet_id);
                 *next_packet_id += 1;
                 let flits = Flit::packet(
@@ -283,6 +289,7 @@ mod tests {
         fn maybe_generate(
             &mut self,
             src: usize,
+            _node_cycle: u64,
             topo: &Topology,
             _rng: &mut StdRng,
         ) -> Option<usize> {
@@ -297,7 +304,7 @@ mod tests {
         let mut traffic = Saturating { packet_length: 3 };
         let mut rng = StdRng::seed_from_u64(1);
         let mut next_id = 0;
-        src.generate(5, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
+        src.generate(5, 0, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
         assert_eq!(src.packets_generated(), 5);
         assert_eq!(src.flits_generated(), 15);
         assert_eq!(src.queued_flits(), 15);
@@ -311,7 +318,7 @@ mod tests {
         let mut traffic = Saturating { packet_length: 4 };
         let mut rng = StdRng::seed_from_u64(1);
         let mut next_id = 0;
-        src.generate(1, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
+        src.generate(1, 0, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
         // Only two credits available on the single VC.
         for _ in 0..2 {
             let offer = src.injection_offer().expect("credit available");
@@ -329,7 +336,7 @@ mod tests {
         let mut traffic = Saturating { packet_length: 1 };
         let mut rng = StdRng::seed_from_u64(1);
         let mut next_id = 0;
-        src.generate(3, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
+        src.generate(3, 0, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
         // Two single-flit packets can go out (one per VC), the third stalls.
         let o1 = src.injection_offer().unwrap();
         src.commit_injection(&o1);
@@ -348,7 +355,7 @@ mod tests {
         let mut traffic = Saturating { packet_length: 3 };
         let mut rng = StdRng::seed_from_u64(1);
         let mut next_id = 0;
-        src.generate(1, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
+        src.generate(1, 0, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
         let head = src.injection_offer().unwrap();
         src.commit_injection(&head);
         let body = src.injection_offer().unwrap();
@@ -367,7 +374,7 @@ mod tests {
         let mut traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.0, 5);
         let mut rng = StdRng::seed_from_u64(1);
         let mut next_id = 0;
-        src.generate(10_000, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
+        src.generate(10_000, 0, &mut traffic, &mesh, &mut rng, &mut next_id, 0, 0.0);
         assert_eq!(src.flits_generated(), 0);
         assert!(src.injection_offer().is_none());
     }

@@ -210,10 +210,23 @@ pub trait TrafficSpec: Debug + Send {
     /// (used for reporting and by rate-based controllers in open-loop tests).
     fn offered_load(&self) -> f64;
 
-    /// Possibly generates a packet at `src` for this node-clock cycle.
+    /// Possibly generates a packet at `src` for the absolute node-clock cycle
+    /// `node_cycle` (the same clock [`silent_node_cycles`](Self::silent_node_cycles)
+    /// speaks about: cycle 0 is the first node cycle of the run).
+    ///
+    /// The simulation sweeps nodes in ascending order and, within one node,
+    /// cycles in ascending order — the RNG draw order every engine preserves.
+    /// Memoryless sources ignore `node_cycle`; recorders log it and replay
+    /// sources match against it.
     ///
     /// Returns the destination node if a packet is generated.
-    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize>;
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        node_cycle: u64,
+        topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize>;
 
     /// Number of consecutive node cycles, starting at the absolute node cycle
     /// `from_node_cycle`, for which [`maybe_generate`](Self::maybe_generate)
@@ -311,7 +324,13 @@ impl TrafficSpec for SyntheticTraffic {
         self.injection_rate
     }
 
-    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        _node_cycle: u64,
+        topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
         // A zero-rate source draws nothing: the draw could never succeed, and
         // skipping it keeps the RNG stream identical whether the engine steps
         // through the cycle or jumps over it (see `silent_node_cycles`).
@@ -436,7 +455,13 @@ impl TrafficSpec for BurstyTraffic {
         self.injection_rate
     }
 
-    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        _node_cycle: u64,
+        topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
         if self.injection_rate <= 0.0 {
             return None;
         }
@@ -575,7 +600,13 @@ impl TrafficSpec for MatrixTraffic {
         self.row_totals.iter().sum::<f64>() / self.rates.len() as f64
     }
 
-    fn maybe_generate(&mut self, src: usize, _topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        _node_cycle: u64,
+        _topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
         if src >= self.rates.len() {
             return None;
         }
@@ -757,7 +788,7 @@ mod tests {
         let trials = 200_000;
         let mut packets = 0;
         for _ in 0..trials {
-            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+            if traffic.maybe_generate(0, 0, &mesh, &mut r).is_some() {
                 packets += 1;
             }
         }
@@ -776,7 +807,7 @@ mod tests {
         let trials = 400_000;
         let mut packets = 0;
         for _ in 0..trials {
-            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+            if traffic.maybe_generate(0, 0, &mesh, &mut r).is_some() {
                 packets += 1;
             }
         }
@@ -810,10 +841,10 @@ mod tests {
             let mut a = 0.0;
             let mut b = 0.0;
             for _ in 0..window {
-                if bursty.maybe_generate(0, &mesh, &mut r1).is_some() {
+                if bursty.maybe_generate(0, 0, &mesh, &mut r1).is_some() {
                     a += 1.0;
                 }
-                if bernoulli.maybe_generate(0, &mesh, &mut r2).is_some() {
+                if bernoulli.maybe_generate(0, 0, &mesh, &mut r2).is_some() {
                     b += 1.0;
                 }
             }
@@ -839,7 +870,7 @@ mod tests {
         let trials = 400_000;
         let mut packets = 0;
         for _ in 0..trials {
-            if traffic.maybe_generate(0, &mesh, &mut r).is_some() {
+            if traffic.maybe_generate(0, 0, &mesh, &mut r).is_some() {
                 packets += 1;
             }
         }
@@ -856,7 +887,7 @@ mod tests {
         let mut traffic = BurstyTraffic::new(TrafficPattern::Uniform, 0.0, 5, 10.0, 3.0);
         let mut r = rng();
         for _ in 0..5_000 {
-            assert_eq!(traffic.maybe_generate(3, &mesh, &mut r), None);
+            assert_eq!(traffic.maybe_generate(3, 0, &mesh, &mut r), None);
         }
     }
 
@@ -886,7 +917,7 @@ mod tests {
         let mut to1 = 0;
         let mut to2 = 0;
         for _ in 0..100_000 {
-            match traffic.maybe_generate(0, &mesh, &mut r) {
+            match traffic.maybe_generate(0, 0, &mesh, &mut r) {
                 Some(1) => to1 += 1,
                 Some(2) => to2 += 1,
                 Some(other) => panic!("unexpected destination {other}"),
@@ -897,7 +928,7 @@ mod tests {
         assert!((ratio - 2.0).abs() < 0.2, "destination mix should follow the rates, got {ratio}");
         // Node 1 never sends.
         for _ in 0..1000 {
-            assert_eq!(traffic.maybe_generate(1, &mesh, &mut r), None);
+            assert_eq!(traffic.maybe_generate(1, 0, &mesh, &mut r), None);
         }
     }
 

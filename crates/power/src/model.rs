@@ -337,6 +337,52 @@ impl RouterPowerModel {
             .fold(EnergyBreakdown::default(), |acc, e| acc + e)
     }
 
+    /// Energy consumed by the routers assigned to **one tenant slot** over
+    /// an interval during which the fabric ran at (`frequency`, `vdd`).
+    ///
+    /// `slot_of` assigns each router (by node id) to a tenant slot, exactly
+    /// as [`TenantMap::assignments`](noc_sim::TenantMap::assignments)
+    /// reports it (slot `tenant_count` being the background slot for
+    /// unmapped nodes); only the routers of `slot` contribute. This is the
+    /// same fold as [`island_energy`](Self::island_energy) keyed by a
+    /// different partition: idle routers take the fast path, each router's
+    /// contribution is the same `f64` either way, and routers fold in
+    /// ascending node order — so summing over every slot of a
+    /// [`TenantMap`](noc_sim::TenantMap) is bit-identical to
+    /// [`network_energy`](Self::network_energy) on the whole fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_of` is shorter than the activity record.
+    pub fn tenant_energy(
+        &self,
+        activity: &NetworkActivity,
+        slot_of: &[u32],
+        slot: u32,
+        frequency: Hertz,
+        vdd: Volts,
+        duration_ps: f64,
+    ) -> EnergyBreakdown {
+        assert!(
+            slot_of.len() >= activity.routers.len(),
+            "tenant assignment must cover every router"
+        );
+        let idle = self.router_energy(&RouterActivity::new(), frequency, vdd, duration_ps);
+        activity
+            .routers
+            .iter()
+            .zip(slot_of.iter())
+            .filter(|(_, &s)| s == slot)
+            .map(|(r, _)| {
+                if r.is_idle() {
+                    idle
+                } else {
+                    self.router_energy(r, frequency, vdd, duration_ps)
+                }
+            })
+            .fold(EnergyBreakdown::default(), |acc, e| acc + e)
+    }
+
     /// Average power of the whole NoC over an interval, with a per-router
     /// breakdown.
     pub fn network_power(
@@ -430,6 +476,43 @@ mod tests {
         let single = model.island_energy(&net, &[0; 6], 0, f, vdd, duration_ps);
         assert_eq!(single.dynamic_pj.to_bits(), whole.dynamic_pj.to_bits());
         assert_eq!(single.static_pj.to_bits(), whole.static_pj.to_bits());
+    }
+
+    #[test]
+    fn tenant_energy_partitions_the_network_fold() {
+        let model = RouterPowerModel::new();
+        let f = Hertz::from_ghz(1.0);
+        let vdd = Volts::new(0.9);
+        let duration_ps = 1.0e6;
+        let mut net = NetworkActivity::new(6);
+        net.routers[0] = busy_activity(1_000, 450);
+        net.routers[5] = busy_activity(1_000, 120);
+        // Two tenants plus the background slot (2) for unmapped nodes.
+        let slot_of = [0u32, 2, 1, 1, 2, 0];
+        let per_slot: f64 = (0..3)
+            .map(|s| model.tenant_energy(&net, &slot_of, s, f, vdd, duration_ps).total_pj())
+            .sum();
+        let whole = model.network_energy(&net, f, vdd, duration_ps);
+        assert!((per_slot - whole.total_pj()).abs() < 1e-9);
+        // Single-slot partition is bit-identical to the network fold.
+        let single = model.tenant_energy(&net, &[0; 6], 0, f, vdd, duration_ps);
+        assert_eq!(single.dynamic_pj.to_bits(), whole.dynamic_pj.to_bits());
+        assert_eq!(single.static_pj.to_bits(), whole.static_pj.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every router")]
+    fn tenant_energy_rejects_short_assignments() {
+        let model = RouterPowerModel::new();
+        let net = NetworkActivity::new(4);
+        let _ = model.tenant_energy(
+            &net,
+            &[0, 0],
+            0,
+            Hertz::from_ghz(1.0),
+            Volts::new(0.9),
+            1.0e6,
+        );
     }
 
     #[test]

@@ -198,7 +198,13 @@ impl TrafficSpec for FiniteTraffic {
     fn offered_load(&self) -> f64 {
         self.rate
     }
-    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        _node_cycle: u64,
+        topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
         if self.budget == 0 {
             return None;
         }
@@ -277,7 +283,7 @@ fn zero_node_cycle_short_circuit_preserves_the_rng_stream() {
     let mut rng = StdRng::seed_from_u64(99);
     let untouched = rng.clone();
     let mut next_id = 0;
-    source.generate(0, &mut traffic, &topo, &mut rng, &mut next_id, 0, 0.0);
+    source.generate(0, 0, &mut traffic, &topo, &mut rng, &mut next_id, 0, 0.0);
     assert_eq!(rng, untouched, "zero node cycles must draw nothing from the RNG");
     assert_eq!(source.flits_generated(), 0);
 
@@ -400,7 +406,6 @@ proptest! {
             burst_end: silence + burst,
             rate,
             packet_length: 4,
-            cycle: 0,
         });
         let mut skipping = NocSimulation::new(cfg.clone(), mk(), seed);
         let mut stepping = NocSimulation::new(cfg.clone(), mk(), seed);
@@ -442,9 +447,6 @@ struct QuiescentThenBurst {
     burst_end: u64,
     rate: f64,
     packet_length: usize,
-    /// Current node cycle, advanced by full `maybe_generate` sweeps and by
-    /// [`TrafficSpec::skip_node_cycles`].
-    cycle: u64,
 }
 
 impl TrafficSpec for QuiescentThenBurst {
@@ -454,12 +456,14 @@ impl TrafficSpec for QuiescentThenBurst {
     fn offered_load(&self) -> f64 {
         self.rate
     }
-    fn maybe_generate(&mut self, src: usize, topo: &Topology, rng: &mut StdRng) -> Option<usize> {
-        let active = self.cycle >= self.burst_start && self.cycle < self.burst_end;
-        if src + 1 == topo.node_count() {
-            self.cycle += 1;
-        }
-        if !active {
+    fn maybe_generate(
+        &mut self,
+        src: usize,
+        node_cycle: u64,
+        topo: &Topology,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        if node_cycle < self.burst_start || node_cycle >= self.burst_end {
             return None;
         }
         use rand::Rng;
@@ -475,9 +479,6 @@ impl TrafficSpec for QuiescentThenBurst {
         } else {
             self.burst_start.saturating_sub(from_node_cycle)
         }
-    }
-    fn skip_node_cycles(&mut self, node_cycles: u64) {
-        self.cycle += node_cycles;
     }
 }
 

@@ -1,0 +1,211 @@
+//! Invariants of the multi-tenant workload engine.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Generator properties** — every seeded random DAG
+//!    ([`noc_apps::random_task_graph`]) is acyclic, its edge rates are
+//!    positive, finite and Pareto-bounded below by the scale parameter,
+//!    and its `network_config` mappings are in-range and collision-free on
+//!    both mesh and torus topologies.
+//! 2. **Per-tenant window conservation** — on any tenant partition of the
+//!    fabric, the per-slot windows of
+//!    [`NocSimulation::take_tenant_windows`] sum field-by-field (for the
+//!    additive flit/packet/latency fields) to the global
+//!    [`NocSimulation::take_window`] over the same span, and the
+//!    shared-clock fields are identical across slots — the same
+//!    conservation contract the per-island windows keep
+//!    (`tests/island_invariants.rs`).
+
+use noc_apps::{random_task_graph, DagConfig};
+use noc_dvfs::{compose_tenants, run_tenants, MappingPolicy, TenantMix, TenantWorkload};
+use noc_sim::{
+    Hertz, NetworkConfig, NocSimulation, SyntheticTraffic, TenantMap, TopologyKind,
+    TrafficPattern, WindowMeasurement,
+};
+use proptest::prelude::*;
+
+fn fabric(width: usize, height: usize) -> NetworkConfig {
+    NetworkConfig::builder()
+        .mesh(width, height)
+        .virtual_channels(2)
+        .buffer_depth(4)
+        .packet_length(5)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Every generated DAG is acyclic, Pareto-rated and validly mapped on
+    /// mesh and torus.
+    #[test]
+    fn generated_dags_are_acyclic_pareto_rated_and_mappable(
+        tasks in 2usize..=16,
+        seed in 0u64..1_000_000,
+        shape in 0.8f64..3.0,
+        scale in 1.0f64..50.0,
+        extra in 0.0f64..0.5,
+    ) {
+        let cfg = DagConfig {
+            pareto_shape: shape,
+            pareto_scale: scale,
+            extra_edge_prob: extra,
+            ..DagConfig::new(tasks, 4, 4, seed)
+        };
+        let g = random_task_graph("dag", &cfg).unwrap();
+        prop_assert_eq!(g.tasks().len(), tasks);
+        prop_assert!(!g.edges().is_empty());
+        // Acyclic: every edge goes from a lower task index to a higher one,
+        // so any cycle would need an index to decrease somewhere.
+        for e in g.edges() {
+            prop_assert!(e.src_task < e.dst_task);
+            // Pareto-shaped rates: positive, finite, bounded below by x_m.
+            prop_assert!(e.packets_per_frame.is_finite());
+            prop_assert!(e.packets_per_frame >= scale);
+        }
+        // Mappings are in-range and collision-free; the same placement
+        // builds a valid config on both topologies.
+        let mut seen = std::collections::HashSet::new();
+        for t in g.tasks() {
+            prop_assert!(t.mesh_node < 16);
+            prop_assert!(seen.insert(t.mesh_node));
+        }
+        for kind in [TopologyKind::Mesh, TopologyKind::Torus] {
+            let net = g.network_config(kind).unwrap();
+            prop_assert_eq!(net.node_count(), 16);
+        }
+        // The Pareto tail is actually long: with enough edges, rates spread
+        // beyond the minimum (a constant-rate generator would fail this).
+        if g.edges().len() >= 8 {
+            let max = g.edges().iter().map(|e| e.packets_per_frame).fold(0.0, f64::max);
+            prop_assert!(max > scale, "all {} edges at the minimum rate", g.edges().len());
+        }
+    }
+
+    /// On any tenant partition, additive slot-window fields sum to the
+    /// global window, and shared-clock fields are identical across slots.
+    #[test]
+    fn tenant_windows_conserve_the_global_window(
+        tenants in 1usize..=5,
+        shift in 0usize..16,
+        unmapped_stride in 2usize..=6,
+        rate in 0.03f64..0.3,
+        seed in 0u64..1_000_000,
+        mhz in 333.0f64..1000.0,
+        chunk in 100u64..400,
+    ) {
+        // A scattered partition with a background share: node n is unmapped
+        // every `unmapped_stride` nodes; mapped nodes round-robin over the
+        // tenants, so every tenant owns at least one node (16 nodes at
+        // stride ≥ 2 leave ≥ 8 mapped ≥ the 5 tenants maximum).
+        let mut mapped_idx = 0usize;
+        let owner: Vec<Option<u32>> = (0..16usize)
+            .map(|n| {
+                if n % unmapped_stride == 0 {
+                    None
+                } else {
+                    let t = ((mapped_idx + shift) % tenants) as u32;
+                    mapped_idx += 1;
+                    Some(t)
+                }
+            })
+            .collect();
+        let map = TenantMap::new(owner, tenants).unwrap();
+        let cfg = fabric(4, 4);
+        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, rate, cfg.packet_length());
+        let mut sim = NocSimulation::new(cfg, Box::new(traffic), seed);
+        sim.set_tenant_map(map).unwrap();
+        sim.set_noc_frequency(Hertz::from_mhz(mhz));
+        for _ in 0..3 {
+            sim.run_cycles(chunk);
+            let slots = sim.take_tenant_windows();
+            let global = sim.take_window();
+            prop_assert_eq!(slots.len(), tenants + 1);
+            let sum = |f: fn(&WindowMeasurement) -> u64| -> u64 {
+                slots.iter().map(f).sum()
+            };
+            prop_assert_eq!(sum(|w| w.flits_generated), global.flits_generated);
+            prop_assert_eq!(sum(|w| w.flits_injected), global.flits_injected);
+            prop_assert_eq!(sum(|w| w.flits_ejected), global.flits_ejected);
+            prop_assert_eq!(sum(|w| w.packets_ejected), global.packets_ejected);
+            prop_assert_eq!(sum(|w| w.latency_cycles_sum), global.latency_cycles_sum);
+            prop_assert_eq!(sum(|w| w.flits_dropped), global.flits_dropped);
+            let delay_sum: f64 = slots.iter().map(|w| w.delay_ps_sum).sum();
+            prop_assert!((delay_sum - global.delay_ps_sum).abs() < 1e-6);
+            for w in &slots {
+                prop_assert_eq!(w.wall_time_ps, global.wall_time_ps);
+                prop_assert_eq!(w.node_cycles, global.node_cycles);
+                prop_assert_eq!(w.noc_cycles, global.noc_cycles);
+            }
+        }
+    }
+}
+
+#[test]
+fn tenant_accounting_is_inert_when_unmapped() {
+    // A simulation without a tenant map steps bit-identically to one that
+    // never heard of tenants (the None fast path), and returns no ledgers.
+    let cfg = fabric(4, 4);
+    let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.10, cfg.packet_length());
+    let mut sim = NocSimulation::new(cfg, Box::new(traffic), 2015);
+    sim.run_cycles(500);
+    assert!(sim.take_tenant_windows().is_empty());
+    // The golden first window of tests/determinism.rs still holds.
+    let golden = WindowMeasurement {
+        noc_cycles: 500,
+        node_cycles: 500,
+        wall_time_ps: 500000.0,
+        flits_generated: 875,
+        flits_injected: 867,
+        packets_ejected: 170,
+        flits_ejected: 852,
+        latency_cycles_sum: 3249,
+        delay_ps_sum: 3249000.0,
+        flits_dropped: 0,
+    };
+    assert_eq!(sim.take_window(), golden);
+}
+
+#[test]
+fn composed_mix_conserves_through_the_qos_driver() {
+    // End to end: a TenantMix composed on a 8x8 fabric, run through the QoS
+    // driver — per-slot ledgers and energies partition the global totals.
+    let mix = TenantMix::new(4, 8, 1234);
+    let comp = mix.compose(8, 8, 5, 0.2).unwrap();
+    assert_eq!(comp.map.tenant_count(), 4);
+    let net = fabric(8, 8);
+    let report = run_tenants(&net, &comp, 500, 2_000, 42);
+    assert_eq!(report.slots.len(), 5);
+    let gen: u64 = report.slots.iter().map(|q| q.window.flits_generated).sum();
+    assert_eq!(gen, report.global.flits_generated);
+    let ej: u64 = report.slots.iter().map(|q| q.window.flits_ejected).sum();
+    assert_eq!(ej, report.global.flits_ejected);
+    let lat: u64 = report.slots.iter().map(|q| q.window.latency_cycles_sum).sum();
+    assert_eq!(lat, report.global.latency_cycles_sum);
+    let energy: f64 = report.slots.iter().map(|q| q.energy.total_pj()).sum();
+    assert!((energy - report.energy.total_pj()).abs() < 1e-9);
+    for t in 0..4 {
+        assert!(report.tenant(t).unwrap().window.flits_generated > 0, "tenant {t} was idle");
+    }
+}
+
+#[test]
+fn heterogeneous_tile_sizes_compose() {
+    // A 5x5 VCE-sized DAG and two 4x4 DAGs pack onto a 16x8 fabric with
+    // room left over for the background slot.
+    let mut workloads = vec![TenantWorkload::new(
+        random_task_graph("big", &DagConfig::new(12, 5, 5, 9)).unwrap(),
+    )];
+    for t in 0..2 {
+        workloads.push(TenantWorkload::new(
+            random_task_graph(format!("small{t}"), &DagConfig::new(6, 4, 4, 50 + t)).unwrap(),
+        ));
+    }
+    let comp = compose_tenants(16, 8, &workloads, &MappingPolicy::Tiled, 5, 0.15).unwrap();
+    assert_eq!(comp.offsets, vec![(0, 0), (5, 0), (9, 0)]);
+    assert_eq!(comp.map.tenant_count(), 3);
+    assert!(comp.map.node_counts()[3] > 0, "unclaimed fabric must fall to the background slot");
+    let total: usize = comp.map.node_counts().iter().sum();
+    assert_eq!(total, 128);
+}

@@ -114,7 +114,7 @@ proptest! {
         let n = topo.node_count();
         for cycle in 0..400 {
             let src = cycle % n;
-            if let Some(dst) = traffic.maybe_generate(src, &topo, &mut rng) {
+            if let Some(dst) = traffic.maybe_generate(src, cycle as u64, &topo, &mut rng) {
                 prop_assert!(dst < n && dst != src, "{}: bad dst {}", pattern.name(), dst);
             }
         }
