@@ -26,16 +26,27 @@
 use noc_dvfs::experiments::{fig2_rmsd_vs_nodvfs, ExperimentQuality};
 use noc_sim::{
     BurstyTraffic, FaultConfig, GatingConfig, HazardConfig, NetworkConfig, NocSimulation,
-    RegionLayout, RoutingKind, SyntheticTraffic, TrafficPattern, TrafficSpec,
+    RegionLayout, RoutingKind, SyntheticTraffic, TelemetryConfig, TrafficPattern, TrafficSpec,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// What a case's number means — simulated-cycle throughput for the
+/// simulator cases, plain wall seconds for end-to-end cases like the
+/// figure regeneration (which has no meaningful cycle count, so a
+/// `cycles_per_sec` of 0.0 there was just misleading).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CaseUnit {
+    CyclesPerSec,
+    WallSeconds,
+}
 
 struct CaseResult {
     name: String,
     cycles: u64,
     secs: f64,
     cycles_per_sec: f64,
+    unit: CaseUnit,
 }
 
 fn time_sim_case(
@@ -62,6 +73,7 @@ fn time_sim_case(
         cycles,
         secs: best,
         cycles_per_sec: cycles as f64 / best,
+        unit: CaseUnit::CyclesPerSec,
     }
 }
 
@@ -95,6 +107,40 @@ fn time_snapshot_case(cycles: u64, repeats: usize) -> CaseResult {
         cycles,
         secs: best,
         cycles_per_sec: cycles as f64 / best,
+        unit: CaseUnit::CyclesPerSec,
+    }
+}
+
+/// Measures the cost of running *with* the telemetry layer installed: the
+/// same 8×8 light-load case as `8x8_mesh_light_load`, but with the counter
+/// fabric, the event trace and the periodic snapshots all live. The ratio
+/// against the plain case is the probes-enabled overhead (target: within
+/// 10%); the plain case itself pins the telemetry-off cost at one dead
+/// branch per probe site. The phase profiler is a separate opt-in knob
+/// (`with_profile`) that adds clock reads per step on top of the probe
+/// cost — `examples/telemetry_heatmap.rs` exercises it.
+fn time_telemetry_case(cycles: u64, repeats: usize) -> CaseResult {
+    let cfg = NetworkConfig::builder().mesh(8, 8).build().unwrap();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let traffic = SyntheticTraffic::new(TrafficPattern::Uniform, 0.05, cfg.packet_length());
+        let mut sim = NocSimulation::new(cfg.clone(), Box::new(traffic), 1);
+        sim.install_telemetry(TelemetryConfig::default());
+        sim.run_cycles(cycles / 10);
+        let t0 = Instant::now();
+        sim.run_cycles(cycles);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(sim.telemetry().map(|t| t.snapshots().count()));
+        if dt < best {
+            best = dt;
+        }
+    }
+    CaseResult {
+        name: "8x8_mesh_light_telemetry".to_string(),
+        cycles,
+        secs: best,
+        cycles_per_sec: cycles as f64 / best,
+        unit: CaseUnit::CyclesPerSec,
     }
 }
 
@@ -114,6 +160,7 @@ fn time_figure_regen(repeats: usize) -> CaseResult {
         cycles: 0,
         secs: best,
         cycles_per_sec: 0.0,
+        unit: CaseUnit::WallSeconds,
     }
 }
 
@@ -146,10 +193,18 @@ struct RecordedRun {
 }
 
 fn render_case(r: &CaseResult) -> String {
-    format!(
-        "{{\"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}",
-        r.cycles, r.secs, r.cycles_per_sec
-    )
+    match r.unit {
+        CaseUnit::CyclesPerSec => format!(
+            "{{\"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}}}",
+            r.cycles, r.secs, r.cycles_per_sec
+        ),
+        // Wall-clock cases carry their own unit tag instead of a bogus
+        // cycles_per_sec of 0.0 (simulated cycles are meaningless for an
+        // end-to-end sweep timing).
+        CaseUnit::WallSeconds => {
+            format!("{{\"seconds\": {:.6}, \"unit\": \"wall_seconds\"}}", r.secs)
+        }
+    }
 }
 
 /// Parses the runs out of an artifact previously written by this tool.
@@ -220,7 +275,7 @@ fn render_document(cycles: u64, repeats: usize, runs: &[RecordedRun]) -> String 
     let _ = writeln!(json, "  \"repeats\": {repeats},");
     let _ = writeln!(
         json,
-        "  \"unit\": \"cycles_per_sec (best of repeats); fig2 case is wall seconds\","
+        "  \"unit\": \"cycles_per_sec (best of repeats); cases tagged 'unit': 'wall_seconds' report end-to-end wall seconds\","
     );
     let _ = writeln!(json, "  \"runs\": {{");
     for (i, run) in runs.iter().enumerate() {
@@ -417,6 +472,11 @@ fn main() {
         eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
         results.push(r);
     }
+    if selected("8x8_mesh_light_telemetry") {
+        let r = time_telemetry_case(cycles, repeats);
+        eprintln!("{:<35} {:>12.0} cycles/s  ({:.4} s / {} cycles)", r.name, r.cycles_per_sec, r.secs, r.cycles);
+        results.push(r);
+    }
     if selected("fig2_regeneration_quick") {
         let fig = time_figure_regen(repeats.min(3));
         eprintln!("{:<35} {:>12.4} s wall-clock", fig.name, fig.secs);
@@ -452,7 +512,34 @@ mod tests {
     use super::*;
 
     fn case(name: &str, cycles: u64, secs: f64) -> CaseResult {
-        CaseResult { name: name.to_string(), cycles, secs, cycles_per_sec: cycles as f64 / secs }
+        CaseResult {
+            name: name.to_string(),
+            cycles,
+            secs,
+            cycles_per_sec: cycles as f64 / secs,
+            unit: CaseUnit::CyclesPerSec,
+        }
+    }
+
+    #[test]
+    fn wall_seconds_cases_carry_a_unit_not_a_zero_rate() {
+        let fig = CaseResult {
+            name: "fig2_regeneration_quick".to_string(),
+            cycles: 0,
+            secs: 1.25,
+            cycles_per_sec: 0.0,
+            unit: CaseUnit::WallSeconds,
+        };
+        let body = render_case(&fig);
+        assert!(body.contains("\"unit\": \"wall_seconds\""));
+        assert!(body.contains("\"seconds\": 1.250000"));
+        assert!(!body.contains("cycles_per_sec"), "no bogus 0.0 rate: {body}");
+        // And it survives the document round trip verbatim.
+        let mut runs = Vec::new();
+        merge_results(&mut runs, "current", &[fig]);
+        let doc = render_document(2000, 5, &runs);
+        let parsed = parse_runs(&doc);
+        assert_eq!(parsed[0].cases[0].1, body);
     }
 
     #[test]

@@ -35,11 +35,12 @@
 use crate::closed_loop::OperatingPointResult;
 use crate::parallel::worker_threads;
 use crate::policy::PolicyKind;
+use noc_sim::telemetry::{TelemetryEvent, TraceEmitter};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One schedulable point of a sweep grid.
 #[derive(Debug, Clone)]
@@ -223,6 +224,94 @@ pub struct SweepReport {
     pub resumed: usize,
     /// Attempts beyond the first, summed over all points.
     pub retries: u64,
+    /// Progress / fault counters of this run (also written to
+    /// `<journal>.profile.json` next to the results journal).
+    pub profile: SweepProfile,
+    /// Per-point execution trace (start / retry / complete events,
+    /// timestamps in microseconds since the sweep started) — exportable as
+    /// a Perfetto timeline via [`TraceEmitter::write_perfetto`] with worker
+    /// ids as tracks.
+    pub trace: TraceEmitter,
+}
+
+/// Progress and fault counters of one [`run_sweep`] call.
+///
+/// Pure observability: the counters never influence scheduling, retries or
+/// results. They are written alongside the results journal (as
+/// `<journal>.profile.json`, atomically, best-effort) so a monitoring loop
+/// tailing a long sweep — or a postmortem of a crashed one — can see how
+/// the run behaved without parsing worker logs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SweepProfile {
+    /// Grid size handed to [`run_sweep`].
+    pub points_total: u64,
+    /// Points holding a result when the run ended (journaled + fresh).
+    pub completed: u64,
+    /// Points satisfied from the journal without running.
+    pub resumed: u64,
+    /// Attempts beyond the first, summed over all points.
+    pub retries: u64,
+    /// Attempts reaped by the per-attempt watchdog.
+    pub watchdog_timeouts: u64,
+    /// Attempts condemned by [`ChaosConfig`] (every condemned attempt
+    /// fails, at its kill tick or at the pre-append crash window).
+    pub chaos_kills: u64,
+    /// Points that exhausted their retries.
+    pub failed: u64,
+    /// Wall time of the run in microseconds.
+    pub wall_micros: u64,
+}
+
+impl SweepProfile {
+    /// Renders the profile as a single JSON object (the
+    /// `<journal>.profile.json` artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"points_total\": {}, \"completed\": {}, \"resumed\": {}, ",
+                "\"retries\": {}, \"watchdog_timeouts\": {}, \"chaos_kills\": {}, ",
+                "\"failed\": {}, \"wall_micros\": {}}}"
+            ),
+            self.points_total,
+            self.completed,
+            self.resumed,
+            self.retries,
+            self.watchdog_timeouts,
+            self.chaos_kills,
+            self.failed,
+            self.wall_micros,
+        )
+    }
+}
+
+/// Shared observer state of one sweep run: the event trace plus the fault
+/// counters, all append-only — workers never read it, so it cannot steer
+/// the sweep.
+#[derive(Debug)]
+struct SweepObserver {
+    started: Instant,
+    trace: Mutex<TraceEmitter>,
+    retries: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+    chaos_kills: AtomicU64,
+}
+
+impl SweepObserver {
+    fn new(capacity: usize) -> Self {
+        SweepObserver {
+            started: Instant::now(),
+            trace: Mutex::new(TraceEmitter::new(capacity)),
+            retries: AtomicU64::new(0),
+            watchdog_timeouts: AtomicU64::new(0),
+            chaos_kills: AtomicU64::new(0),
+        }
+    }
+
+    /// Emits one event stamped with microseconds since the sweep started.
+    fn emit(&self, event: TelemetryEvent) {
+        let ts = self.started.elapsed().as_micros() as u64;
+        self.trace.lock().expect("trace lock").emit(ts, event);
+    }
 }
 
 /// Errors of the coordination fabric itself (not of individual points —
@@ -270,17 +359,23 @@ pub fn run_sweep(
 
     let journal = Mutex::new(journal);
     let failures = Mutex::new(Vec::new());
-    let retries = std::sync::atomic::AtomicU64::new(0);
+    let observer = SweepObserver::new((units.len() * 4).max(64));
     let cursor = AtomicUsize::new(0);
     let workers = cfg.workers.unwrap_or_else(worker_threads).min(todo.len().max(1));
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let (cursor, todo, journal, failures, observer, runner) =
+                (&cursor, &todo, &journal, &failures, &observer, &runner);
+            scope.spawn(move || loop {
                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&index) = todo.get(slot) else { break };
                 let unit = &units[index];
-                match run_point(unit, &runner, journal_path, cfg, &retries) {
+                let worker = w as u32;
+                observer.emit(TelemetryEvent::SweepPointStart { key: unit.key.clone(), worker });
+                let outcome = run_point(unit, runner, journal_path, cfg, observer);
+                let ok = outcome.is_ok();
+                match outcome {
                     Ok(value) => {
                         let mut journal = journal.lock().expect("journal lock");
                         // Ignore a racing duplicate (cannot happen with
@@ -293,6 +388,11 @@ pub fn run_sweep(
                                     attempts: cfg.max_retries + 1,
                                     last_error: format!("journal append failed: {e}"),
                                 });
+                                observer.emit(TelemetryEvent::SweepPointComplete {
+                                    key: unit.key.clone(),
+                                    worker,
+                                    ok: false,
+                                });
                                 continue;
                             }
                         }
@@ -301,6 +401,11 @@ pub fn run_sweep(
                         failures.lock().expect("failure lock").push(failure);
                     }
                 }
+                observer.emit(TelemetryEvent::SweepPointComplete {
+                    key: unit.key.clone(),
+                    worker,
+                    ok,
+                });
             });
         }
     });
@@ -308,16 +413,34 @@ pub fn run_sweep(
     let journal = journal.into_inner().expect("all workers joined");
     let mut failures = failures.into_inner().expect("all workers joined");
     failures.sort_by(|a, b| a.key.cmp(&b.key));
-    let results = units
+    let results: Vec<(String, String)> = units
         .iter()
         .filter_map(|u| journal.entries.get(&u.key).map(|v| (u.key.clone(), v.clone())))
         .collect();
-    Ok(SweepReport {
-        results,
-        failures,
-        resumed,
-        retries: retries.load(Ordering::Relaxed),
-    })
+    let retries = observer.retries.load(Ordering::Relaxed);
+    let profile = SweepProfile {
+        points_total: units.len() as u64,
+        completed: results.len() as u64,
+        resumed: resumed as u64,
+        retries,
+        watchdog_timeouts: observer.watchdog_timeouts.load(Ordering::Relaxed),
+        chaos_kills: observer.chaos_kills.load(Ordering::Relaxed),
+        failed: failures.len() as u64,
+        wall_micros: observer.started.elapsed().as_micros() as u64,
+    };
+    // Best-effort observability artifact next to the journal; the journal
+    // itself stays the sole source of truth for resume.
+    let _ = write_atomic(&profile_path(journal_path), profile.to_json().as_bytes());
+    let trace = observer.trace.into_inner().expect("all workers joined");
+    Ok(SweepReport { results, failures, resumed, retries, profile, trace })
+}
+
+/// The profile artifact of a sweep: `<journal file name>.profile.json`,
+/// next to the journal.
+pub fn profile_path(journal_path: &Path) -> PathBuf {
+    let mut name = journal_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".profile.json");
+    journal_path.with_file_name(name)
 }
 
 /// Runs one unit through its attempt/backoff loop. `Ok` carries the encoded
@@ -327,14 +450,15 @@ fn run_point(
     runner: &Arc<PointRunner>,
     journal_path: &Path,
     cfg: &CoordinatorConfig,
-    retries: &std::sync::atomic::AtomicU64,
+    observer: &SweepObserver,
 ) -> Result<String, PointFailure> {
     let checkpoint_path = checkpoint_path(journal_path, &unit.key);
     let max_attempts = cfg.max_retries + 1;
     let mut last_error = String::new();
     for attempt in 0..max_attempts {
         if attempt > 0 {
-            retries.fetch_add(1, Ordering::Relaxed);
+            observer.retries.fetch_add(1, Ordering::Relaxed);
+            observer.emit(TelemetryEvent::SweepPointRetry { key: unit.key.clone(), attempt });
             let factor = 1u32 << attempt.saturating_sub(1).min(16);
             std::thread::sleep((cfg.backoff_base * factor).min(cfg.backoff_cap));
         }
@@ -342,12 +466,22 @@ fn run_point(
             .chaos
             .filter(|_| attempt + 1 < max_attempts) // the last attempt always survives
             .and_then(|chaos| chaos_kill_tick(&chaos, &unit.key, attempt));
+        if kill_at_tick.is_some() {
+            // Every condemned attempt dies (at its tick, or at the
+            // pre-append window), so condemnations count as kills.
+            observer.chaos_kills.fetch_add(1, Ordering::Relaxed);
+        }
         match run_attempt(unit, runner, checkpoint_path.clone(), kill_at_tick, cfg.watchdog) {
             Ok(value) => {
                 let _ = std::fs::remove_file(&checkpoint_path);
                 return Ok(value);
             }
-            Err(e) => last_error = e,
+            Err(e) => {
+                if e == "watchdog timeout" {
+                    observer.watchdog_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                last_error = e;
+            }
         }
     }
     let _ = std::fs::remove_file(&checkpoint_path);

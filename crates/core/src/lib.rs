@@ -74,9 +74,9 @@ pub use closed_loop::{
     degraded_mode_report, run_operating_point, ClosedLoopConfig, OperatingPointResult,
 };
 pub use coordinator::{
-    decode_operating_point, encode_operating_point, run_sweep, shard_policy_grid, write_atomic,
-    ChaosConfig, CoordinatorConfig, CoordinatorError, PointContext, PointFailure, PointRunner,
-    SweepReport, WorkUnit,
+    decode_operating_point, encode_operating_point, profile_path, run_sweep, shard_policy_grid,
+    write_atomic, ChaosConfig, CoordinatorConfig, CoordinatorError, PointContext, PointFailure,
+    PointRunner, SweepProfile, SweepReport, WorkUnit,
 };
 pub use dmsd::{Dmsd, DmsdConfig};
 pub use gating::{

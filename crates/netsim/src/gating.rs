@@ -270,6 +270,12 @@ pub(crate) struct GatingController {
     win_sleep_events: Vec<u64>,
     /// Wake (Gated→WakeUp) transitions since the last activity drain.
     win_wake_events: Vec<u64>,
+    /// Telemetry transition log (`(node, to_sleep)` in occurrence order),
+    /// `None` unless the telemetry layer is installed. Pure observer: it is
+    /// drained by the driver after the gating phase, feeds no decision, and
+    /// is deliberately not part of snapshots (telemetry describes how the
+    /// run was watched, not what the state is).
+    transition_log: Option<Vec<(u32, bool)>>,
 }
 
 impl GatingController {
@@ -296,6 +302,7 @@ impl GatingController {
             win_gated_cycles: vec![0; n],
             win_sleep_events: vec![0; n],
             win_wake_events: vec![0; n],
+            transition_log: None,
         };
         if controller.enabled {
             for node in 0..n {
@@ -414,6 +421,9 @@ impl GatingController {
             debug_assert_eq!(self.states[node], GateState::WakeUp);
             self.states[node] = GateState::Active;
             self.fenced_count -= 1;
+            if let Some(log) = self.transition_log.as_mut() {
+                log.push((node as u32, false));
+            }
             // A freshly woken router is empty, hence idle again; re-arm so a
             // spurious wakeup can put it back to sleep after the threshold.
             self.idle[node] = true;
@@ -490,6 +500,9 @@ impl GatingController {
             self.gated_since[n] = island_cycle(island);
             self.win_sleep_events[n] += 1;
             self.fenced_count += 1;
+            if let Some(log) = self.transition_log.as_mut() {
+                log.push((node, true));
+            }
             false
         });
         self.drain_wait = drain_wait;
@@ -564,6 +577,9 @@ impl GatingController {
                     self.win_wake_events[node] += 1;
                     self.win_gated_cycles[node] += now - self.gated_since[node];
                     self.states[node] = GateState::Active;
+                    if let Some(log) = self.transition_log.as_mut() {
+                        log.push((node as u32, false));
+                    }
                 }
                 GateState::WakeUp | GateState::DrainWait => {
                     self.states[node] = GateState::Active;
@@ -582,6 +598,22 @@ impl GatingController {
         }
         for fifo in &mut self.wake_due {
             fifo.clear();
+        }
+    }
+
+    /// Switches the telemetry transition log on or off. Turning it on starts
+    /// an empty log; turning it off discards any pending entries.
+    pub(crate) fn set_transition_log(&mut self, enabled: bool) {
+        self.transition_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the telemetry transition log (if installed), calling
+    /// `f(node, to_sleep)` for each transition in occurrence order.
+    pub(crate) fn drain_transition_log(&mut self, mut f: impl FnMut(u32, bool)) {
+        if let Some(log) = self.transition_log.as_mut() {
+            for (node, to_sleep) in log.drain(..) {
+                f(node, to_sleep);
+            }
         }
     }
 

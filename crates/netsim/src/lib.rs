@@ -61,6 +61,7 @@
 //! | [`trace`] | injection record / replay ([`TraceWriter`] / [`TraceTraffic`], `snapshot` feature) | chunked streaming, one chunk resident; replay draws no RNG |
 //! | [`activity`] | switching-activity counters for power estimation | — |
 //! | [`stats`] | latency / delay / throughput statistics | — |
+//! | [`telemetry`] | zero-perturbation observability: counter fabric, event trace + Perfetto export, heatmaps, profiling | inert (`None`) unless installed; one branch per probe site |
 //! | [`clock`] | dual-clock (node vs NoC) bookkeeping | per-cycle divisions cached on frequency change |
 //! | [`sim`] | the [`NocSimulation`] driver | sparse activity-tracked stepping (worklists + channel due-lists); owns the per-cycle scratch; see below |
 //!
@@ -131,6 +132,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod source;
 pub mod stats;
+pub mod telemetry;
 pub mod tenant;
 pub mod topology;
 #[cfg(feature = "snapshot")]
@@ -151,6 +153,10 @@ pub use sim::{NocSimulation, WindowMeasurement};
 #[cfg(feature = "snapshot")]
 pub use snapshot::{SimSnapshot, SnapshotError};
 pub use stats::{PacketRecord, SimStats};
+pub use telemetry::{
+    CongestionHeatmap, EngineProfile, SimCounters, TelemetryConfig, TelemetryEvent,
+    TelemetrySnapshot, TelemetryState, TimedEvent, TraceEmitter,
+};
 pub use tenant::{TenantMap, TenantMapError};
 pub use topology::{Direction, Mesh2d, Topology, TopologyKind};
 #[cfg(feature = "snapshot")]

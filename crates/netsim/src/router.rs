@@ -730,6 +730,73 @@ impl Router {
             self.free_out_mask[port] |= 1u64 << vc;
         }
     }
+
+    /// Whether a VC index belongs to the escape class (class 0). On a plain
+    /// mesh without an adaptive algorithm both class masks cover every VC, so
+    /// every VC reads as class 0 — telemetry's escape/adaptive split is only
+    /// meaningful where the classes are actually partitioned.
+    pub fn vc_is_escape(&self, vc: usize) -> bool {
+        self.class_masks[0] & (1u64 << vc) != 0
+    }
+
+    /// Takes the telemetry stall census: classifies every input VC that is
+    /// holding flits but could not (or will not next cycle) advance, and
+    /// accumulates the counts into `census`. Read-only — called by the
+    /// driver's telemetry probe after the pipeline stages ran, so `Active`
+    /// states reflect post-traversal credit balances (a VC that just spent
+    /// its last credit counts as credit-stalled, which is exactly its state
+    /// for the next cycle). VCs that merely lost a switch-arbitration round
+    /// are not counted: they are throughput-limited, not stalled.
+    pub(crate) fn stall_census(&self, fence: u8, census: &mut crate::telemetry::StallCensus) {
+        if self.buffered == 0 {
+            return;
+        }
+        let split_classes = self.class_masks[0] != self.class_masks[1];
+        for port in 0..PORT_COUNT {
+            // One merged test skips ports with no waiting VC at all — the
+            // common case on a lightly loaded router — before the per-mask
+            // walks below.
+            if self.routing_mask[port] | self.va_mask[port] | self.active_mask[port] == 0 {
+                continue;
+            }
+            census.route_wait += u64::from(self.routing_mask[port].count_ones());
+            let mut mask = self.va_mask[port];
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &self.inputs[port * self.vcs + vc];
+                let out_port = input.out_port.expect("out_port set during RC") as usize;
+                let mut free = self.free_out_mask[out_port];
+                if out_port != LOCAL_PORT {
+                    free &= self.class_masks[usize::from(input.next_class)];
+                }
+                if free == 0 && input.next_class == 0 && split_classes {
+                    census.escape_hold += 1;
+                } else {
+                    census.va_wait += 1;
+                }
+            }
+            let mut mask = self.active_mask[port];
+            while mask != 0 {
+                let vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let input = &self.inputs[port * self.vcs + vc];
+                if input.buffer.is_empty() {
+                    // Waiting for body flits upstream, not stalled here.
+                    continue;
+                }
+                let out_port = input.out_port.expect("active VC has a route") as usize;
+                if fence & (1u8 << out_port) != 0 {
+                    census.fenced += 1;
+                } else if out_port != LOCAL_PORT {
+                    let out_vc = input.out_vc.expect("active VC has an output VC") as usize;
+                    if self.outputs[out_port * self.vcs + out_vc].credits == 0 {
+                        census.no_credit += 1;
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(feature = "snapshot")]

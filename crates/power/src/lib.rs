@@ -55,6 +55,7 @@ pub mod tech;
 pub use gating::{GatingResidency, IslandGatingStats, RouterGatingStats};
 pub use model::{PowerParams, RouterPowerModel};
 pub use report::{
-    DegradedModeReport, FrequencyResidency, PowerReport, ResidencyLevel, RESIDENCY_BIN_HZ,
+    activity_heatmap, power_heatmap, DegradedModeReport, FrequencyResidency, PowerReport,
+    ResidencyLevel, RESIDENCY_BIN_HZ,
 };
 pub use tech::{FdsoiTech, OperatingPoint, Volts};

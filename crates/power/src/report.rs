@@ -2,7 +2,7 @@
 
 use crate::model::EnergyBreakdown;
 use crate::tech::Volts;
-use noc_sim::Hertz;
+use noc_sim::{CongestionHeatmap, Hertz};
 use serde::{Deserialize, Serialize};
 
 /// Power consumed by the NoC over one observation interval, broken down per
@@ -227,6 +227,41 @@ impl DegradedModeReport {
     pub fn is_degraded(&self) -> bool {
         self.reachability < 1.0 || self.flits_dropped > 0
     }
+}
+
+/// Renders a switching-activity window as a [`CongestionHeatmap`]: each
+/// router's forwarded link flits per router cycle, laid out row-major over
+/// the `width × height` mesh. The figures pipeline consumes it through the
+/// same JSON/CSV exporters as the live telemetry heatmap
+/// ([`noc_sim::NocSimulation::telemetry_heatmap`]), so post-hoc power
+/// analysis and in-run observability plot identically.
+///
+/// # Panics
+///
+/// Panics if `width × height` differs from the record's router count.
+pub fn activity_heatmap(
+    activity: &noc_sim::NetworkActivity,
+    width: usize,
+    height: usize,
+) -> CongestionHeatmap {
+    assert_eq!(width * height, activity.routers.len(), "grid shape must match the record");
+    let utilization = activity
+        .routers
+        .iter()
+        .map(|r| if r.cycles == 0 { 0.0 } else { r.link_flits as f64 / r.cycles as f64 })
+        .collect();
+    CongestionHeatmap { width, height, utilization }
+}
+
+/// Renders a power report as a heatmap of per-router milliwatts — the
+/// thermal-floorplan companion to [`activity_heatmap`].
+///
+/// # Panics
+///
+/// Panics if `width × height` differs from the report's router count.
+pub fn power_heatmap(report: &PowerReport, width: usize, height: usize) -> CongestionHeatmap {
+    assert_eq!(width * height, report.per_router_mw.len(), "grid shape must match the report");
+    CongestionHeatmap { width, height, utilization: report.per_router_mw.clone() }
 }
 
 #[cfg(test)]

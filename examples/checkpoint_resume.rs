@@ -162,13 +162,10 @@ fn main() {
             sim.run_cycles(400);
             ctx.save_checkpoint(&sim.snapshot().to_bytes());
         }
+        let c = sim.counters();
         Ok(format!(
             "cycle={} generated={} delivered={} dropped={} gated={}",
-            sim.current_cycle(),
-            sim.total_flits_generated(),
-            sim.total_packets_delivered(),
-            sim.total_flits_dropped(),
-            sim.gated_router_count(),
+            c.cycle, c.flits_generated, c.packets_delivered, c.flits_dropped, c.gated_routers,
         ))
     });
     let warm_cfg = CoordinatorConfig::quick()

@@ -53,17 +53,17 @@ fn permanent_fault_demo() {
         let traffic = MatrixTraffic::new(rates, cfg.packet_length());
         let mut sim = NocSimulation::new(cfg, Box::new(traffic), 2015);
         sim.run_cycles(8_000);
-        let stranded = sim.queued_source_flits()
-            + sim.buffered_network_flits()
-            + sim.in_flight_flits();
+        // One diagnostic bundle instead of five separate getters; the
+        // stranded backlog is the ledger's in-transit term.
+        let c = sim.counters();
         println!(
             "{:<9} delivered {:>4} packets, stranded {:>5} flits, dropped {:>2}, \
              reachability {:.2}",
             routing.name(),
-            sim.total_packets_delivered(),
-            stranded,
-            sim.total_flits_dropped(),
-            sim.reachable_pairs_fraction(),
+            c.packets_delivered,
+            c.in_transit_flits(),
+            c.flits_dropped,
+            c.reachable_pairs,
         );
     }
 }

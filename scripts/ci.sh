@@ -28,9 +28,11 @@ PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q
 # bit-identity contract explicitly spans engines (a snapshot taken under one
 # stepping mode must resume exactly under another). The trace invariants join
 # them too: replay ≡ record bit-identity must hold on whichever engine the
-# replay runs under.
-echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants --test checkpoint_invariants --test trace_invariants (dense reference loop)"
-NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants --test checkpoint_invariants --test trace_invariants
+# replay runs under — and so do the telemetry invariants: the observer layer
+# must stay zero-perturbation on the dense reference exactly as it is on the
+# sparse engine.
+echo "==> NOC_DENSE_STEP=1 cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants --test checkpoint_invariants --test trace_invariants --test telemetry_invariants (dense reference loop)"
+NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test island_invariants --test gating_invariants --test fault_invariants --test checkpoint_invariants --test trace_invariants --test telemetry_invariants
 
 # Event-horizon cycle-skipping is on by default, so the main test pass above
 # already exercises it; the base-tick (non-skipping) path is the reference
@@ -41,8 +43,8 @@ NOC_DENSE_STEP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test det
 # stepping: the threaded path clamps to the serial step, pinning that the
 # serial reference still matches the goldens the parity tests compare
 # against.
-echo "==> NOC_NO_SKIP=1 cargo test -q --test determinism --test sparse_equivalence --test checkpoint_invariants --test trace_invariants (base-tick reference path)"
-NOC_NO_SKIP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test checkpoint_invariants --test trace_invariants
+echo "==> NOC_NO_SKIP=1 cargo test -q --test determinism --test sparse_equivalence --test checkpoint_invariants --test trace_invariants --test telemetry_invariants (base-tick reference path)"
+NOC_NO_SKIP=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence --test checkpoint_invariants --test trace_invariants --test telemetry_invariants
 
 echo "==> NOC_SWEEP_THREADS=1 cargo test -q --test determinism --test sparse_equivalence (serial island stepping)"
 NOC_SWEEP_THREADS=1 PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test -q --test determinism --test sparse_equivalence
